@@ -1,0 +1,52 @@
+//! E3 — Theorem 2.1: distributed GST construction cost and validity.
+//!
+//! The construction schedule is deterministic, so the cost column is exact;
+//! validity is measured by the verifier plus fallback/orphan counters.
+//! Paper-predicted shape: rounds ~ D·log^5 n for the sequential schedule
+//! (the paper's pipelined variant saves one log factor).
+
+use bench::*;
+use broadcast::construction::{ConstructionSchedule, GstConstructionNode};
+use broadcast::Params;
+use gst::verify_gst;
+use radio_sim::graph::Traversal;
+use radio_sim::{CollisionMode, NodeId, Simulator};
+
+fn main() {
+    header(
+        "E3: distributed GST construction (cluster chains)",
+        &["(n, D)", "rounds", "violations", "fallbacks"],
+    );
+    for (clusters, size) in [(3usize, 8usize), (6, 8), (12, 8), (6, 16)] {
+        let g = radio_sim::graph::generators::cluster_chain(clusters, size);
+        let params = Params::scaled(g.node_count());
+        let layering = g.bfs(NodeId::new(0));
+        let sched = ConstructionSchedule::new(&params, layering.max_level().max(1));
+        let mut total_viol = 0usize;
+        let mut total_fb = 0usize;
+        for seed in 0..SEEDS {
+            let mut sim = Simulator::new(g.clone(), CollisionMode::NoDetection, seed, |id| {
+                GstConstructionNode::new(&params, sched, id.raw(), layering.level(id))
+            });
+            sim.run(sched.total_rounds() + 1);
+            let labels: Vec<_> = sim.nodes().iter().map(|n| n.labels()).collect();
+            let tree = gst::Gst::new(
+                labels.iter().map(|l| l.level).collect(),
+                labels.iter().map(|l| l.rank).collect(),
+                labels.iter().map(|l| l.parent).collect(),
+            )
+            .expect("well-shaped");
+            total_viol += verify_gst(&g, &tree, &[NodeId::new(0)]).len();
+            total_fb += sim.nodes().iter().filter(|n| n.stats().fallback_used).count();
+        }
+        row(
+            &format!("({}, {})", g.node_count(), layering.max_level()),
+            &[
+                format!("({}, {})", g.node_count(), layering.max_level()),
+                format!("{}", sched.total_rounds()),
+                format!("{:.2}/run", total_viol as f64 / SEEDS as f64),
+                format!("{:.2}/run", total_fb as f64 / SEEDS as f64),
+            ],
+        );
+    }
+}

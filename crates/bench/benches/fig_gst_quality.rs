@@ -1,0 +1,58 @@
+//! E4 — GST structure: max rank vs the ⌈log2 n⌉ bound, stretch statistics,
+//! centralized vs distributed agreement.
+
+use bench::*;
+use broadcast::construction::{ConstructionSchedule, GstConstructionNode};
+use broadcast::Params;
+use radio_sim::graph::{generators, Traversal};
+use radio_sim::rng::stream_rng;
+use radio_sim::{CollisionMode, Graph, NodeId, Simulator};
+
+fn stats(g: &Graph, seed: u64) -> (u32, u32, usize, f64, usize) {
+    let mut rng = stream_rng(seed, 0);
+    let (tree, _) =
+        gst::build_gst(g, &[NodeId::new(0)], &mut rng, &gst::BuildConfig::for_nodes(g.node_count()));
+    let stretches = tree.stretches();
+    let longest = stretches.iter().map(|s| s.len()).max().unwrap_or(0);
+    let avg = stretches.iter().map(|s| s.len()).sum::<usize>() as f64 / stretches.len() as f64;
+    // Distributed construction for comparison.
+    let params = Params::scaled(g.node_count());
+    let layering = g.bfs(NodeId::new(0));
+    let sched = ConstructionSchedule::new(&params, layering.max_level().max(1));
+    let mut sim = Simulator::new(g.clone(), CollisionMode::NoDetection, seed, |id| {
+        GstConstructionNode::new(&params, sched, id.raw(), layering.level(id))
+    });
+    sim.run(sched.total_rounds() + 1);
+    let dist_max_rank = sim.nodes().iter().map(|n| n.labels().rank).max().unwrap_or(0);
+    (tree.max_rank(), dist_max_rank, longest, avg, stretches.len())
+}
+
+fn main() {
+    header(
+        "E4: GST quality (centralized vs distributed)",
+        &["graph", "log2n bound", "rank (cent)", "rank (dist)", "stretches (max/avg/#)"],
+    );
+    let mut rng = stream_rng(99, 0);
+    let cases: Vec<(&str, Graph)> = vec![
+        ("path64", generators::path(64)),
+        ("grid8x8", generators::grid(8, 8)),
+        ("chain8x8", generators::cluster_chain(8, 8)),
+        ("gnp64", generators::gnp_connected(64, 0.08, &mut rng)),
+        ("udg100", generators::unit_disk(100, 0.18, &mut rng)),
+    ];
+    for (name, g) in cases {
+        let bound = radio_sim::graph::ceil_log2(g.node_count());
+        let (cmax, dmax, longest, avg, count) = stats(&g, 1);
+        assert!(cmax <= bound, "rank bound violated");
+        row(
+            name,
+            &[
+                name.to_string(),
+                format!("{bound}"),
+                format!("{cmax}"),
+                format!("{dmax}"),
+                format!("{longest}/{avg:.1}/{count}"),
+            ],
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! E11 — Theorem 1.3 vs Theorem 1.2: the price of not knowing the topology.
+//!
+//! Paper-predicted shape: the unknown-topology pipeline pays a fixed
+//! polylog setup (layering + GST construction + labeling) on top of the
+//! known-topology dissemination cost; the k-dependence is identical.
+
+use bench::*;
+use broadcast::multi_message::BatchMode;
+use broadcast::schedule::SlowKey;
+use broadcast::Params;
+use radio_sim::graph::generators;
+
+fn main() {
+    header(
+        "E11: known vs unknown topology, k sweep on cluster_chain(4,6)",
+        &["k", "known (T1.2)", "unknown (T1.3)"],
+    );
+    let g = generators::cluster_chain(4, 6);
+    let params = bench_params(g.node_count());
+    for k in [2usize, 4, 8] {
+        let known: Vec<_> =
+            (0..SEEDS).map(|s| run_known_k(&g, &params, s, k, SlowKey::VirtualDistance)).collect();
+        let unknown: Vec<_> =
+            (0..SEEDS).map(|s| run_unknown_k(&g, &params, s, k, BatchMode::FullK)).collect();
+        row(&format!("{k}"), &[format!("{k}"), cell(mean_std(&known)), cell(mean_std(&unknown))]);
+    }
+    println!("(expect: a large fixed setup gap, parallel k-slopes)");
+}

@@ -1,0 +1,18 @@
+//! E10 — Theorem 1.2: k-message rounds vs D at fixed k (additive D term).
+
+use bench::*;
+use broadcast::schedule::SlowKey;
+use broadcast::Params;
+
+fn main() {
+    header("E10: 8-message rounds vs D (cluster chains, n ~ 96)", &["D", "RLNC (T1.2)"]);
+    for clusters in [4usize, 8, 16, 32] {
+        let g = chain_with_n(clusters, 96);
+        let params = Params::scaled(g.node_count());
+        let d = diameter(&g);
+        let r: Vec<_> =
+            (0..SEEDS).map(|s| run_known_k(&g, &params, s, 8, SlowKey::VirtualDistance)).collect();
+        row(&format!("{d}"), &[format!("{d}"), cell(mean_std(&r))]);
+    }
+    println!("(expect: roughly constant slope ~1 in D once k·log n is paid)");
+}

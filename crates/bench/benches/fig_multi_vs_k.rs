@@ -1,0 +1,35 @@
+//! E9 — Theorem 1.2: k-message rounds vs k (known topology).
+//!
+//! Paper-predicted shape: RLNC on the MMV schedule scales as D + k·log n;
+//! routing (no coding) is slower; k × single-message is far slower.
+
+use bench::*;
+use broadcast::schedule::SlowKey;
+use broadcast::Params;
+use radio_sim::graph::generators;
+
+fn main() {
+    header(
+        "E9: k-message rounds vs k on grid 7x7 (known topology)",
+        &["k", "RLNC (T1.2)", "routing", "k x single"],
+    );
+    let g = generators::grid(7, 7);
+    let params = Params::scaled(g.node_count());
+    for k in [2usize, 4, 8, 16, 32] {
+        let rlnc: Vec<_> =
+            (0..SEEDS).map(|s| run_known_k(&g, &params, s, k, SlowKey::VirtualDistance)).collect();
+        let routing: Vec<_> = (0..SEEDS).map(|s| run_routing_k(&g, &params, s, k)).collect();
+        let repeat: Vec<_> = (0..SEEDS)
+            .map(|s| baselines::repeat::rounds_estimate(&g, radio_sim::NodeId::new(0), k, &params, s))
+            .collect();
+        row(
+            &format!("{k}"),
+            &[
+                format!("{k}"),
+                cell(mean_std(&rlnc)),
+                cell(mean_std(&routing)),
+                cell(mean_std(&repeat)),
+            ],
+        );
+    }
+}

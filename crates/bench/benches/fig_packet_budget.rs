@@ -1,0 +1,36 @@
+//! E14 — packet-size audit: every protocol's packets against B = Θ(log n).
+//!
+//! Generations keep RLNC coefficient overhead at O(log n) bits; FullK coding
+//! deliberately exceeds the budget for k >> log n (reported, as discussed in
+//! Section 3.4 of the paper).
+
+use broadcast::construction::GstMsg;
+use broadcast::recruiting::{CountClass, RecruitMsg};
+use radio_sim::model::PacketBits;
+use rlnc::gf2::BitVec;
+use rlnc::CodedPacket;
+
+fn main() {
+    let n: usize = 1024;
+    let log_n = radio_sim::graph::ceil_log2(n);
+    let b_budget = 8 * log_n as usize + 64; // B = Θ(log n) + payload word
+    println!("\n=== E14: packet bits vs budget B = {b_budget} (n = {n}) ===");
+    let rows: Vec<(&str, usize)> = vec![
+        ("wave beep", 1),
+        ("recruit beacon", RecruitMsg::Beacon { red: 1, class: CountClass::One }.packet_bits()),
+        ("recruit response", RecruitMsg::Response { blue: 1, red: 2 }.packet_bits()),
+        ("gst rank announce", GstMsg::RankAnnounce { red: 1, rank: 3 }.packet_bits()),
+        (
+            "rlnc packet (generation log n)",
+            CodedPacket::plaintext(log_n as usize, 0, BitVec::zero(64)).packet_bits(),
+        ),
+        (
+            "rlnc packet (FullK k=64)",
+            CodedPacket::plaintext(64, 0, BitVec::zero(64)).packet_bits(),
+        ),
+    ];
+    for (name, bits) in rows {
+        let verdict = if bits <= b_budget { "ok" } else { "OVER (documented)" };
+        println!("{name:>32} | {bits:>6} bits | {verdict}");
+    }
+}

@@ -1,0 +1,44 @@
+//! E5 — Lemma 2.3: recruiting success rate vs iteration budget.
+//!
+//! Paper-predicted shape: success probability rises toward 1 as iterations
+//! approach Θ(log^2 n).
+
+use bench::*;
+use broadcast::recruiting::{standalone::RecruitNode, RecruitConfig};
+use broadcast::Params;
+use radio_sim::graph::generators;
+use radio_sim::rng::stream_rng;
+use radio_sim::{CollisionMode, Simulator};
+
+fn main() {
+    header("E5: recruiting success vs iterations (16 reds, 48 blues, p=0.15)", &["iterations", "recruited %"]);
+    let params = Params::scaled(64);
+    for mult in [1u32, 2, 4, 8, 16] {
+        let iterations = mult * params.log_n;
+        let cfg = RecruitConfig {
+            iterations,
+            phase_len: params.decay_phase_len(),
+            density_hold: (iterations / (params.decay_phase_len() + 1)).max(1),
+        };
+        let mut recruited = 0usize;
+        let mut total = 0usize;
+        for seed in 0..8u64 {
+            let mut rng = stream_rng(seed, 42);
+            let bp = generators::random_bipartite(16, 48, 0.15, &mut rng);
+            let mut sim = Simulator::new(bp.graph.clone(), CollisionMode::NoDetection, seed, |id| {
+                if id.index() < 16 {
+                    RecruitNode::red(cfg, id.raw())
+                } else {
+                    RecruitNode::blue(cfg, id.raw())
+                }
+            });
+            sim.run(u64::from(cfg.total_rounds()));
+            recruited += sim.nodes()[16..].iter().filter(|n| n.recruited().is_some()).count();
+            total += 48;
+        }
+        row(
+            &format!("{iterations}"),
+            &[format!("{iterations}"), format!("{:.1}%", 100.0 * recruited as f64 / total as f64)],
+        );
+    }
+}

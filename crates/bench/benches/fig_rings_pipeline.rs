@@ -1,0 +1,42 @@
+//! E12 — Section 3.4: ring decomposition and batch pipelining.
+//!
+//! Forces small ring widths so the multi-ring machinery (parallel slotted
+//! construction, FEC handoffs, cross-ring batch pipeline) runs; measures
+//! completion vs ring width and vs batch size.
+
+use bench::*;
+use broadcast::multi_message::BatchMode;
+use broadcast::Params;
+use radio_sim::graph::generators;
+
+fn main() {
+    header(
+        "E12a: single message vs forced ring width (cluster_chain(10,4))",
+        &["ring width", "rings", "GHK-CD rounds"],
+    );
+    let g = generators::cluster_chain(10, 4);
+    let d = diameter(&g);
+    for width in [4u32, 8, 20] {
+        let mut params = bench_params(g.node_count());
+        params.ring_width = Some(width);
+        let rings = (d + 1).div_ceil(width.max(2));
+        let r: Vec<_> = (0..SEEDS).map(|s| run_ghk_single(&g, &params, s)).collect();
+        row(
+            &format!("{width}"),
+            &[format!("{width}"), format!("{rings}"), cell(mean_std(&r))],
+        );
+    }
+
+    header(
+        "E12b: k=6 messages vs batch size with 4-layer rings",
+        &["batch size", "T1.3 rounds"],
+    );
+    for batch in [2usize, 3, 6] {
+        let mut params = bench_params(g.node_count());
+        params.ring_width = Some(4);
+        let r: Vec<_> = (0..SEEDS)
+            .map(|s| run_unknown_k(&g, &params, s, 6, BatchMode::Generations(batch)))
+            .collect();
+        row(&format!("{batch}"), &[format!("{batch}"), cell(mean_std(&r))]);
+    }
+}

@@ -1,0 +1,26 @@
+//! E8 — Section 3.2's key design choice: slow transmissions keyed on virtual
+//! distance (MMV) vs BFS level (GPX-style) under multi-message load.
+//!
+//! Paper-predicted shape: the level-keyed schedule degrades (or stalls) as k
+//! grows because its progress argument breaks under other-message noise; the
+//! virtual-distance schedule scales as D + k·log n.
+
+use bench::*;
+use broadcast::schedule::SlowKey;
+use broadcast::Params;
+use radio_sim::graph::generators;
+
+fn main() {
+    header(
+        "E8: slow-key ablation on cluster_chain(5,6), k sweep",
+        &["k", "virtual-dist (paper)", "level-keyed (GPX)"],
+    );
+    let g = generators::cluster_chain(5, 6);
+    let params = Params::scaled(g.node_count());
+    for k in [1usize, 4, 8, 16] {
+        let vd: Vec<_> =
+            (0..SEEDS).map(|s| run_known_k(&g, &params, s, k, SlowKey::VirtualDistance)).collect();
+        let lv: Vec<_> = (0..SEEDS).map(|s| run_known_k(&g, &params, s, k, SlowKey::Level)).collect();
+        row(&format!("{k}"), &[format!("{k}"), cell(mean_std(&vd)), cell(mean_std(&lv))]);
+    }
+}

@@ -1,0 +1,50 @@
+//! E1 — Theorem 1.1: single-message rounds vs diameter at (roughly) fixed n.
+//!
+//! Paper-predicted shape: Decay grows like D·log n and CR-style like
+//! D·log(n/D). The GHK pipeline's *broadcast phase* grows additively in D
+//! (slope O(1)); its end-to-end cost at simulation scale is dominated by the
+//! one-time GST construction (sequential per ring: D'·log^5 n), which the
+//! paper amortizes with rings + pipelining at paper-scale D. Both columns are
+//! reported; EXPERIMENTS.md discusses the crossover.
+
+use bench::*;
+use broadcast::Params;
+use broadcast::single_message::broadcast_single;
+use radio_sim::NodeId;
+
+fn main() {
+    header(
+        "E1: single-message rounds vs D (cluster chains, n ~ 72)",
+        &["D", "GHK end-to-end", "GHK bcast-phase", "Decay (BGI)", "CR-style", "GPX known-topo"],
+    );
+    for clusters in [4usize, 8, 16] {
+        let g = chain_with_n(clusters, 72);
+        let params = bench_params(g.node_count());
+        let d = diameter(&g);
+        let mut e2e: Vec<Option<u64>> = Vec::new();
+        let mut phase: Vec<Option<u64>> = Vec::new();
+        for s in 0..SEEDS {
+            let out = broadcast_single(&g, NodeId::new(0), 1, &params, s);
+            e2e.push(out.completion_round);
+            let setup = u64::from(out.plan.d_bound) + out.plan.cons_rounds;
+            phase.push(out.completion_round.map(|r| r.saturating_sub(setup)));
+        }
+        let decay: Vec<_> = (0..SEEDS).map(|s| run_decay(&g, &params, s)).collect();
+        let cr: Vec<_> = (0..SEEDS).map(|s| run_cr(&g, &params, s)).collect();
+        let gpx: Vec<_> = (0..SEEDS).map(|s| run_gpx_known(&g, &params, s)).collect();
+        row(
+            &format!("{clusters}cl/D={d}"),
+            &[
+                format!("{d}"),
+                cell(mean_std(&e2e)),
+                cell(mean_std(&phase)),
+                cell(mean_std(&decay)),
+                cell(mean_std(&cr)),
+                cell(mean_std(&gpx)),
+            ],
+        );
+    }
+    let _ = Params::scaled(1); // keep the import used even if presets change
+    println!("(expect: bcast-phase and GPX slopes ~O(1) per D unit; Decay slope ~log n per D unit;");
+    println!(" end-to-end is construction-dominated at simulation scale — see EXPERIMENTS.md E1)");
+}

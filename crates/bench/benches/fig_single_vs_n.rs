@@ -1,0 +1,31 @@
+//! E2 — Theorem 1.1: single-message rounds vs n at fixed diameter.
+//!
+//! Paper-predicted shape: at fixed D, GHK-CD grows only polylogarithmically
+//! with n; Decay picks up a full multiplicative log n on the D term.
+
+use bench::*;
+use broadcast::Params;
+use radio_sim::graph::generators;
+
+fn main() {
+    header(
+        "E2: single-message rounds vs n (cluster chains, 6 clusters, D = 11)",
+        &["n", "GHK-CD (T1.1)", "Decay (BGI)", "CR-style"],
+    );
+    for size in [4usize, 8, 16] {
+        let g = generators::cluster_chain(6, size);
+        let params = bench_params(g.node_count());
+        let ghk: Vec<_> = (0..SEEDS).map(|s| run_ghk_single(&g, &params, s)).collect();
+        let decay: Vec<_> = (0..SEEDS).map(|s| run_decay(&g, &params, s)).collect();
+        let cr: Vec<_> = (0..SEEDS).map(|s| run_cr(&g, &params, s)).collect();
+        row(
+            &format!("{}", g.node_count()),
+            &[
+                format!("{}", g.node_count()),
+                cell(mean_std(&ghk)),
+                cell(mean_std(&decay)),
+                cell(mean_std(&cr)),
+            ],
+        );
+    }
+}

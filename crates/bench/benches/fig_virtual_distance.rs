@@ -1,0 +1,37 @@
+//! E16 — Lemma 3.4: virtual distances are bounded by 2·⌈log2 n⌉.
+
+use radio_sim::graph::{generators, ceil_log2};
+use radio_sim::rng::stream_rng;
+use radio_sim::NodeId;
+
+fn main() {
+    println!("\n=== E16: max virtual distance vs the 2*ceil(log2 n) bound ===");
+    println!("{:>12} | {:>6} | {:>10} | {:>6}", "graph", "n", "max vdist", "bound");
+    let mut rng = stream_rng(3, 0);
+    let cases = vec![
+        ("path128", generators::path(128)),
+        ("grid10x10", generators::grid(10, 10)),
+        ("chain10x6", generators::cluster_chain(10, 6)),
+        ("gnp128", generators::gnp_connected(128, 0.04, &mut rng)),
+        ("udg150", generators::unit_disk(150, 0.15, &mut rng)),
+    ];
+    for (name, g) in cases {
+        let mut rng = stream_rng(7, 1);
+        let (tree, _) = gst::build_gst(
+            &g,
+            &[NodeId::new(0)],
+            &mut rng,
+            &gst::BuildConfig::for_nodes(g.node_count()),
+        );
+        let vd = gst::VirtualDistances::compute(&g, &tree);
+        let bound = 2 * ceil_log2(g.node_count());
+        println!(
+            "{:>12} | {:>6} | {:>10} | {:>6}",
+            name,
+            g.node_count(),
+            vd.max(),
+            bound
+        );
+        assert!(vd.max() <= bound, "Lemma 3.4 violated on {name}");
+    }
+}

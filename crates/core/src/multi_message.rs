@@ -1,0 +1,828 @@
+//! k-message broadcast (Theorems 1.2 and 1.3).
+//!
+//! * [`broadcast_known`] — **Theorem 1.2**, known topology: every node
+//!   computes the same GST and virtual distances locally (no communication),
+//!   then the MMV schedule of Section 3.2 runs with RLNC
+//!   (`O(D + k log n + log^2 n)` rounds). The slow-key and empty-behavior
+//!   knobs expose the E8 ablation (level keying) and the MMV noise stress.
+//! * [`GhkMultiNode`] / [`broadcast_unknown`] — **Theorem 1.3**, unknown
+//!   topology with collision detection: collision-wave layering → parallel
+//!   per-ring distributed GST construction → per-ring distributed
+//!   virtual-distance labeling (Lemma 3.10) → dissemination, with message
+//!   *batches* pipelined across rings and forward error correction (a random
+//!   linear fountain) carrying each batch across ring boundaries
+//!   (Section 3.4).
+//!
+//! Batching: [`BatchMode::FullK`] codes all `k` messages together (simple,
+//! `k`-bit coefficient vectors — the packet-budget audit of E14 flags the
+//! overhead when `k ≫ log n`); [`BatchMode::Generations`] keeps batches at
+//! `Θ(log n)` messages, the paper's coefficient-overhead fix, and pipelines
+//! the batches across rings.
+
+use crate::construction::{ConstructionSchedule, GstConstructionNode, GstMsg};
+use crate::decay::DecaySchedule;
+use crate::layering::{Beep, CollisionWaveLayering};
+use crate::params::Params;
+use crate::schedule::{
+    EmptyBehavior, MmvScheduleNode, SchedAudit, SchedLabels, SchedMsg, ScheduleConfig, SlowKey,
+};
+use crate::virtual_labels::{VirtualLabelNode, VlMsg, VlSchedule};
+use radio_sim::model::PacketBits;
+use radio_sim::{Action, CollisionMode, Graph, NodeId, Observation, Protocol, Simulator};
+use rand::rngs::SmallRng;
+use rlnc::gf2::BitVec;
+use rlnc::{CodedPacket, Decoder};
+
+/// Outcome of a multi-message run.
+#[derive(Clone, Debug)]
+pub struct MultiOutcome {
+    /// Round at which every node decoded everything, `None` on timeout.
+    pub completion_round: Option<u64>,
+    /// Rounds budgeted/executed.
+    pub rounds_budget: u64,
+    /// Aggregated schedule audit counters.
+    pub audit: SchedAudit,
+}
+
+/// Theorem 1.2: known-topology k-message broadcast.
+///
+/// Builds the GST and virtual distances centrally (the shared-knowledge
+/// model), then runs the MMV schedule with RLNC until every node decodes all
+/// messages or `max_rounds` elapse.
+///
+/// # Panics
+///
+/// Panics if `messages` is empty or the graph is empty.
+pub fn broadcast_known(
+    graph: &Graph,
+    source: NodeId,
+    messages: &[BitVec],
+    params: &Params,
+    seed: u64,
+    slow_key: SlowKey,
+    empty: EmptyBehavior,
+    max_rounds: u64,
+) -> MultiOutcome {
+    assert!(!messages.is_empty(), "need at least one message");
+    assert!(graph.node_count() > 0, "graph must be non-empty");
+    let k = messages.len();
+    let payload_bits = messages[0].len();
+    let mut rng = radio_sim::rng::stream_rng(seed, 1000);
+    let (tree, _) = gst::build_gst(
+        graph,
+        &[source],
+        &mut rng,
+        &gst::BuildConfig::for_nodes(graph.node_count()),
+    );
+    let vd = gst::VirtualDistances::compute(graph, &tree);
+    let cfg = ScheduleConfig { log_n: params.log_n, slow_key, empty };
+    let mut sim = Simulator::new(graph.clone(), CollisionMode::NoDetection, seed, |id| {
+        let node = MmvScheduleNode::new(cfg, SchedLabels::from_gst(&tree, &vd, id), k, payload_bits);
+        if id == source {
+            node.with_messages(messages)
+        } else {
+            node
+        }
+    });
+    let completion_round =
+        sim.run_until(max_rounds, |nodes| nodes.iter().all(MmvScheduleNode::is_complete));
+    let mut audit = SchedAudit::default();
+    for n in sim.nodes() {
+        let a = n.audit();
+        audit.fast_collisions_bystander += a.fast_collisions_bystander;
+        audit.fast_collisions_in_stretch += a.fast_collisions_in_stretch;
+        audit.slow_collisions += a.slow_collisions;
+    }
+    MultiOutcome { completion_round, rounds_budget: max_rounds, audit }
+}
+
+/// How messages are grouped for coding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchMode {
+    /// One batch holding all `k` messages.
+    FullK,
+    /// Batches of at most the given size (the paper's `Θ(log n)`).
+    Generations(usize),
+}
+
+impl BatchMode {
+    fn batch_size(&self, k: usize) -> usize {
+        match *self {
+            BatchMode::FullK => k,
+            BatchMode::Generations(g) => g.max(1).min(k),
+        }
+    }
+}
+
+/// Messages of the Theorem 1.3 pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GhkMMsg {
+    /// Collision-wave beep.
+    Wave(Beep),
+    /// GST construction traffic.
+    Gst(GstMsg),
+    /// Virtual-labeling traffic.
+    Vl(VlMsg),
+    /// In-ring dissemination traffic, tagged with its batch.
+    Sched {
+        /// Batch index.
+        batch: u32,
+        /// The schedule packet.
+        msg: SchedMsg,
+    },
+    /// Ring-boundary FEC packet of a batch.
+    Fec {
+        /// Batch index.
+        batch: u32,
+        /// A fountain packet over the batch.
+        packet: CodedPacket,
+    },
+}
+
+impl PacketBits for GhkMMsg {
+    fn packet_bits(&self) -> usize {
+        3 + match self {
+            GhkMMsg::Wave(b) => b.packet_bits(),
+            GhkMMsg::Gst(m) => m.packet_bits(),
+            GhkMMsg::Vl(m) => m.packet_bits(),
+            GhkMMsg::Sched { msg, .. } => 16 + msg.packet_bits(),
+            GhkMMsg::Fec { packet, .. } => 16 + packet.packet_bits(),
+        }
+    }
+}
+
+/// The static phase plan of the Theorem 1.3 pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GhkMultiPlan {
+    /// Diameter bound (wave rounds).
+    pub d_bound: u32,
+    /// Ring width in layers.
+    pub ring_width: u32,
+    /// Number of rings.
+    pub ring_count: u32,
+    /// Number of message batches.
+    pub batch_count: u32,
+    /// Messages per batch (last may be short).
+    pub batch_size: u32,
+    /// Total messages.
+    pub k: u32,
+    /// Per-ring construction schedule.
+    pub cons: ConstructionSchedule,
+    /// Rounds of the 2-slotted construction phase.
+    pub cons_rounds: u64,
+    /// Per-ring virtual labeling schedule.
+    pub vl: VlSchedule,
+    /// Rounds of the 2-slotted labeling phase.
+    pub vl_rounds: u64,
+    /// Rounds of one in-ring dissemination window.
+    pub window: u64,
+    /// Rounds of one (2-slotted) handoff window.
+    pub handoff: u64,
+}
+
+/// Phases of the Theorem 1.3 pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GhkMultiPhase {
+    /// Collision-wave layering.
+    Wave {
+        /// Round within the wave.
+        offset: u64,
+    },
+    /// Slotted per-ring GST construction.
+    Construct {
+        /// Round within the phase.
+        offset: u64,
+    },
+    /// Slotted per-ring virtual labeling.
+    Label {
+        /// Round within the phase.
+        offset: u64,
+    },
+    /// Pipelined dissemination window `w` (ring `j` works on batch `w - j`).
+    Disseminate {
+        /// Window index.
+        window: u32,
+        /// Round within the window.
+        offset: u64,
+    },
+    /// Handoff slot after window `w`.
+    Handoff {
+        /// Window index.
+        window: u32,
+        /// Round within the handoff.
+        offset: u64,
+    },
+    /// Pipeline finished.
+    Done,
+}
+
+impl GhkMultiPlan {
+    /// Builds the plan for `k` messages under `params`.
+    pub fn new(params: &Params, d_bound: u32, k: usize, mode: BatchMode) -> Self {
+        let d_bound = d_bound.max(1);
+        let ring_width = params.ring_width_for(d_bound).min(d_bound + 1);
+        let ring_count = (d_bound + 1).div_ceil(ring_width);
+        let batch_size = mode.batch_size(k);
+        let batch_count = k.div_ceil(batch_size);
+        let cons = ConstructionSchedule::new(params, ring_width - 1);
+        let vl = VlSchedule::new(params, ring_width.saturating_sub(1).max(1));
+        let slack = u64::from(params.window_slack);
+        let l = u64::from(params.log_n);
+        let window =
+            slack * (2 * u64::from(ring_width) + 2 * batch_size as u64 * l + 2 * l * l);
+        let handoff = 2 * slack * l * (batch_size as u64 + 4);
+        GhkMultiPlan {
+            d_bound,
+            ring_width,
+            ring_count,
+            batch_count: u32::try_from(batch_count).expect("fits"),
+            batch_size: u32::try_from(batch_size).expect("fits"),
+            k: u32::try_from(k).expect("fits"),
+            cons,
+            cons_rounds: 2 * cons.total_rounds(),
+            vl,
+            vl_rounds: 2 * vl.total_rounds(),
+            window,
+            handoff,
+        }
+    }
+
+    /// Number of pipelined windows: every (ring, batch) pair is covered.
+    pub fn window_count(&self) -> u32 {
+        self.ring_count + self.batch_count - 1
+    }
+
+    /// The batch ring `j` works on during window `w`, if any.
+    pub fn batch_in_window(&self, window: u32, ring: u32) -> Option<u32> {
+        let b = window.checked_sub(ring)?;
+        (b < self.batch_count).then_some(b)
+    }
+
+    /// Global message indices of batch `b`.
+    pub fn batch_range(&self, b: u32) -> std::ops::Range<usize> {
+        let start = (b * self.batch_size) as usize;
+        let end = ((b + 1) * self.batch_size).min(self.k) as usize;
+        start..end
+    }
+
+    /// Total pipeline rounds.
+    pub fn total_rounds(&self) -> u64 {
+        u64::from(self.d_bound)
+            + self.cons_rounds
+            + self.vl_rounds
+            + u64::from(self.window_count()) * (self.window + self.handoff)
+    }
+
+    /// Resolves round `t` to its phase.
+    pub fn phase(&self, t: u64) -> GhkMultiPhase {
+        let mut t = t;
+        if t < u64::from(self.d_bound) {
+            return GhkMultiPhase::Wave { offset: t };
+        }
+        t -= u64::from(self.d_bound);
+        if t < self.cons_rounds {
+            return GhkMultiPhase::Construct { offset: t };
+        }
+        t -= self.cons_rounds;
+        if t < self.vl_rounds {
+            return GhkMultiPhase::Label { offset: t };
+        }
+        t -= self.vl_rounds;
+        let cycle = self.window + self.handoff;
+        let w = u32::try_from(t / cycle).expect("fits");
+        if w >= self.window_count() {
+            return GhkMultiPhase::Done;
+        }
+        let in_cycle = t % cycle;
+        if in_cycle < self.window {
+            GhkMultiPhase::Disseminate { window: w, offset: in_cycle }
+        } else {
+            GhkMultiPhase::Handoff { window: w, offset: in_cycle - self.window }
+        }
+    }
+}
+
+/// The schedule instance of the window a node is currently in.
+#[derive(Clone, Debug)]
+struct ActiveWindow {
+    window: u32,
+    batch: u32,
+    node: MmvScheduleNode,
+}
+
+/// Per-batch state of a pipeline node.
+#[derive(Clone, Debug, Default)]
+struct BatchState {
+    decoded: Option<Vec<BitVec>>,
+    /// FEC receiver state (ring roots during handoffs).
+    fec: Option<Decoder>,
+}
+
+/// One node of the Theorem 1.3 pipeline.
+#[derive(Clone, Debug)]
+pub struct GhkMultiNode {
+    id: u32,
+    params: Params,
+    plan: GhkMultiPlan,
+    payload_bits: usize,
+    wave: CollisionWaveLayering,
+    ring: Option<(u32, u32)>,
+    cons: Option<GstConstructionNode>,
+    vl: Option<VirtualLabelNode>,
+    sched: Option<ActiveWindow>,
+    batches: Vec<BatchState>,
+    /// Window-drop counter (batch incomplete at window end).
+    drops: u64,
+    decay: DecaySchedule,
+}
+
+impl GhkMultiNode {
+    /// A pipeline node; the source holds all `messages`.
+    pub fn new(
+        params: &Params,
+        plan: GhkMultiPlan,
+        id: u32,
+        payload_bits: usize,
+        messages: Option<Vec<BitVec>>,
+    ) -> Self {
+        let mut batches: Vec<BatchState> =
+            (0..plan.batch_count).map(|_| BatchState::default()).collect();
+        let is_source = messages.is_some();
+        if let Some(msgs) = messages {
+            for b in 0..plan.batch_count {
+                batches[b as usize].decoded = Some(msgs[plan.batch_range(b)].to_vec());
+            }
+        }
+        GhkMultiNode {
+            id,
+            params: params.clone(),
+            plan,
+            payload_bits,
+            wave: CollisionWaveLayering::new(is_source),
+            ring: None,
+            cons: None,
+            vl: None,
+            sched: None,
+            batches,
+            drops: 0,
+            decay: DecaySchedule::new(params.decay_phase_len()),
+        }
+    }
+
+    /// Whether every batch is decoded.
+    pub fn is_complete(&self) -> bool {
+        self.batches.iter().all(|b| b.decoded.is_some())
+    }
+
+    /// All decoded messages in order, once complete.
+    pub fn messages(&self) -> Option<Vec<BitVec>> {
+        if !self.is_complete() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.plan.k as usize);
+        for b in &self.batches {
+            out.extend(b.decoded.clone().expect("checked complete"));
+        }
+        Some(out)
+    }
+
+    /// Batches dropped at window boundaries (restart events).
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Schedule audit from the current/last window.
+    pub fn audit(&self) -> SchedAudit {
+        self.sched.as_ref().map(|a| a.node.audit()).unwrap_or_default()
+    }
+
+    fn ensure_ring(&mut self) {
+        if self.ring.is_none() {
+            if let Some(layer) = self.wave.level() {
+                self.ring = Some((layer / self.plan.ring_width, layer % self.plan.ring_width));
+            }
+        }
+    }
+
+    fn ensure_cons(&mut self) {
+        self.ensure_ring();
+        if self.cons.is_none() {
+            if let Some((_, ring_level)) = self.ring {
+                self.cons = Some(GstConstructionNode::new(
+                    &self.params,
+                    self.plan.cons,
+                    self.id,
+                    ring_level,
+                ));
+            }
+        }
+    }
+
+    fn ensure_vl(&mut self) {
+        if self.vl.is_none() {
+            if let Some(cons) = &self.cons {
+                self.vl = Some(VirtualLabelNode::new(self.plan.vl, self.id, cons.labels()));
+            }
+        }
+    }
+
+    fn sched_labels(&self) -> Option<SchedLabels> {
+        let vl = self.vl.as_ref()?;
+        let l = vl.labels();
+        Some(SchedLabels {
+            level: l.level,
+            rank: l.rank,
+            // Unlabelled nodes (labeling failure) fall back to the cap.
+            vdist: vl.vdist().unwrap_or(2 * self.params.log_n),
+            stretch_start: l.is_stretch_start(),
+            fast_transmitter: l.has_stretch_child,
+            in_stretch: l.in_stretch(),
+        })
+    }
+
+    /// Starts (or reuses) the schedule node for window `w`.
+    fn ensure_window(&mut self, window: u32) {
+        let Some((ring, _)) = self.ring else { return };
+        if self.sched.as_ref().is_some_and(|a| a.window == window) {
+            return;
+        }
+        // Harvest the previous window first.
+        self.harvest_window();
+        let Some(batch) = self.plan.batch_in_window(window, ring) else {
+            self.sched = None;
+            return;
+        };
+        let Some(labels) = self.sched_labels() else { return };
+        let cfg = ScheduleConfig {
+            log_n: self.params.log_n,
+            slow_key: SlowKey::VirtualDistance,
+            empty: EmptyBehavior::Silent,
+        };
+        let klen = self.plan.batch_range(batch).len();
+        let mut node = MmvScheduleNode::new(cfg, labels, klen, self.payload_bits);
+        if let Some(decoded) = &self.batches[batch as usize].decoded {
+            node = node.with_messages(decoded);
+        }
+        self.sched = Some(ActiveWindow { window, batch, node });
+    }
+
+    /// Stores a completed window's batch, or counts a drop.
+    fn harvest_window(&mut self) {
+        if let Some(active) = self.sched.take() {
+            let slot = &mut self.batches[active.batch as usize];
+            if slot.decoded.is_none() {
+                match active.node.decoder().decode() {
+                    Some(msgs) => slot.decoded = Some(msgs),
+                    None => self.drops += 1,
+                }
+            }
+        }
+    }
+
+    /// Completes FEC reception for batches whose handoff window ended.
+    fn harvest_fec(&mut self, batch: u32) {
+        let slot = &mut self.batches[batch as usize];
+        if slot.decoded.is_none() {
+            if let Some(fec) = &slot.fec {
+                if let Some(msgs) = fec.decode() {
+                    slot.decoded = Some(msgs);
+                }
+            }
+        }
+        slot.fec = None;
+    }
+}
+
+impl Protocol for GhkMultiNode {
+    type Msg = GhkMMsg;
+
+    fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<GhkMMsg> {
+        match self.plan.phase(round) {
+            GhkMultiPhase::Wave { offset } => match self.wave.act(offset, rng) {
+                Action::Transmit(b) => Action::Transmit(GhkMMsg::Wave(b)),
+                Action::Listen => Action::Listen,
+            },
+            GhkMultiPhase::Construct { offset } => {
+                self.ensure_cons();
+                let Some((ring, _)) = self.ring else { return Action::Listen };
+                if offset % 2 != u64::from(ring % 2) {
+                    return Action::Listen;
+                }
+                match self.cons.as_mut().expect("created").act(offset / 2, rng) {
+                    Action::Transmit(m) => Action::Transmit(GhkMMsg::Gst(m)),
+                    Action::Listen => Action::Listen,
+                }
+            }
+            GhkMultiPhase::Label { offset } => {
+                self.ensure_vl();
+                let Some((ring, _)) = self.ring else { return Action::Listen };
+                if offset % 2 != u64::from(ring % 2) {
+                    return Action::Listen;
+                }
+                match self.vl.as_mut().expect("created").act(offset / 2, rng) {
+                    Action::Transmit(m) => Action::Transmit(GhkMMsg::Vl(m)),
+                    Action::Listen => Action::Listen,
+                }
+            }
+            GhkMultiPhase::Disseminate { window, offset } => {
+                self.ensure_window(window);
+                let Some(active) = self.sched.as_mut() else { return Action::Listen };
+                let batch = active.batch;
+                match active.node.act(offset, rng) {
+                    Action::Transmit(msg) => Action::Transmit(GhkMMsg::Sched { batch, msg }),
+                    Action::Listen => Action::Listen,
+                }
+            }
+            GhkMultiPhase::Handoff { window, offset } => {
+                // Finish the window before handing off.
+                self.harvest_window();
+                let Some((ring, ring_level)) = self.ring else { return Action::Listen };
+                // Slotted by ring parity to keep adjacent handoffs apart.
+                if offset % 2 != u64::from(ring % 2) {
+                    return Action::Listen;
+                }
+                let Some(batch) = self.plan.batch_in_window(window, ring) else {
+                    return Action::Listen;
+                };
+                let outer = ring_level == self.plan.ring_width - 1 && ring + 1 < self.plan.ring_count;
+                if !outer {
+                    return Action::Listen;
+                }
+                let Some(decoded) = &self.batches[batch as usize].decoded else {
+                    return Action::Listen;
+                };
+                if self.decay.fires(offset / 2, rng) {
+                    let src = Decoder::with_messages(decoded);
+                    if let Some(packet) = src.random_combination(rng) {
+                        return Action::Transmit(GhkMMsg::Fec { batch, packet });
+                    }
+                }
+                Action::Listen
+            }
+            GhkMultiPhase::Done => {
+                self.harvest_window();
+                Action::Listen
+            }
+        }
+    }
+
+    fn observe(&mut self, round: u64, obs: Observation<GhkMMsg>, rng: &mut SmallRng) {
+        match self.plan.phase(round) {
+            GhkMultiPhase::Wave { offset } => {
+                let mapped = match obs {
+                    Observation::Message(GhkMMsg::Wave(b)) => Observation::Message(b),
+                    Observation::Collision => Observation::Collision,
+                    Observation::SelfTransmit => Observation::SelfTransmit,
+                    _ => Observation::Silence,
+                };
+                self.wave.observe(offset, mapped, rng);
+            }
+            GhkMultiPhase::Construct { offset } => {
+                let Some((ring, _)) = self.ring else { return };
+                if offset % 2 != u64::from(ring % 2) {
+                    return;
+                }
+                let mapped = match obs {
+                    Observation::Message(GhkMMsg::Gst(m)) => Observation::Message(m),
+                    Observation::Collision => Observation::Collision,
+                    Observation::SelfTransmit => Observation::SelfTransmit,
+                    _ => Observation::Silence,
+                };
+                if let Some(c) = self.cons.as_mut() {
+                    c.observe(offset / 2, mapped, rng);
+                }
+            }
+            GhkMultiPhase::Label { offset } => {
+                let Some((ring, _)) = self.ring else { return };
+                if offset % 2 != u64::from(ring % 2) {
+                    return;
+                }
+                let mapped = match obs {
+                    Observation::Message(GhkMMsg::Vl(m)) => Observation::Message(m),
+                    Observation::Collision => Observation::Collision,
+                    Observation::SelfTransmit => Observation::SelfTransmit,
+                    _ => Observation::Silence,
+                };
+                if let Some(v) = self.vl.as_mut() {
+                    v.observe(offset / 2, mapped, rng);
+                }
+            }
+            GhkMultiPhase::Disseminate { offset, .. } => {
+                let Some(active) = self.sched.as_mut() else { return };
+                let mapped = match obs {
+                    Observation::Message(GhkMMsg::Sched { batch, msg }) if batch == active.batch => {
+                        Observation::Message(msg)
+                    }
+                    // Other batches' packets are noise for this node.
+                    Observation::Message(_) => Observation::Silence,
+                    Observation::Collision => Observation::Collision,
+                    Observation::SelfTransmit => Observation::SelfTransmit,
+                    _ => Observation::Silence,
+                };
+                active.node.observe(offset, mapped, rng);
+            }
+            GhkMultiPhase::Handoff { window, offset } => {
+                let Some((ring, ring_level)) = self.ring else { return };
+                // Ring roots (level 0) of ring j+1 listen for batch w-(j+1)+1:
+                // the batch their predecessor ring just finished = w - (j+1) + 1
+                // = w - j ... ring j hands batch (w - j) to ring j+1, whose
+                // window for it is w+1. Roots of ring r listen for batch
+                // (window - (r - 1)) from ring r-1.
+                if ring_level != 0 || ring == 0 {
+                    return;
+                }
+                let Some(batch) = self.plan.batch_in_window(window, ring - 1) else { return };
+                if self.batches[batch as usize].decoded.is_some() {
+                    return;
+                }
+                if let Observation::Message(GhkMMsg::Fec { batch: b, packet }) = obs {
+                    if b == batch {
+                        let klen = self.plan.batch_range(batch).len();
+                        let slot = &mut self.batches[batch as usize];
+                        let fec = slot
+                            .fec
+                            .get_or_insert_with(|| Decoder::new(klen, self.payload_bits));
+                        fec.insert(packet);
+                    }
+                }
+                // Last handoff round: finalize.
+                if offset + 1 == self.plan.handoff {
+                    self.harvest_fec(batch);
+                }
+            }
+            GhkMultiPhase::Done => {}
+        }
+    }
+}
+
+/// Runs Theorem 1.3 end to end; returns the outcome plus per-node drop count.
+///
+/// # Panics
+///
+/// Panics if `messages` is empty or the graph is empty.
+pub fn broadcast_unknown(
+    graph: &Graph,
+    source: NodeId,
+    messages: &[BitVec],
+    params: &Params,
+    seed: u64,
+    mode: BatchMode,
+) -> MultiOutcome {
+    use radio_sim::graph::Traversal;
+    assert!(!messages.is_empty(), "need at least one message");
+    assert!(graph.node_count() > 0, "graph must be non-empty");
+    let payload_bits = messages[0].len();
+    let d = graph.bfs(source).max_level();
+    let plan = GhkMultiPlan::new(params, d.max(1), messages.len(), mode);
+    let mut sim = Simulator::new(graph.clone(), CollisionMode::Detection, seed, |id| {
+        GhkMultiNode::new(
+            params,
+            plan,
+            id.raw(),
+            payload_bits,
+            (id == source).then(|| messages.to_vec()),
+        )
+    });
+    let completion_round =
+        sim.run_until(plan.total_rounds() + 1, |nodes| nodes.iter().all(GhkMultiNode::is_complete));
+    let mut audit = SchedAudit::default();
+    for n in sim.nodes() {
+        let a = n.audit();
+        audit.fast_collisions_bystander += a.fast_collisions_bystander;
+        audit.fast_collisions_in_stretch += a.fast_collisions_in_stretch;
+        audit.slow_collisions += a.slow_collisions;
+    }
+    MultiOutcome { completion_round, rounds_budget: plan.total_rounds(), audit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_sim::graph::generators;
+    use radio_sim::rng::stream_rng;
+
+    fn msgs(k: usize) -> Vec<BitVec> {
+        (0..k as u64).map(|i| BitVec::from_u64(i.wrapping_mul(37) & 0xFFFF, 32)).collect()
+    }
+
+    #[test]
+    fn known_topology_broadcasts_k_messages() {
+        let g = generators::grid(6, 6);
+        let params = Params::scaled(36);
+        let out = broadcast_known(
+            &g,
+            NodeId::new(0),
+            &msgs(8),
+            &params,
+            1,
+            SlowKey::VirtualDistance,
+            EmptyBehavior::Silent,
+            300_000,
+        );
+        assert!(out.completion_round.is_some());
+        assert_eq!(out.audit.fast_collisions_in_stretch, 0);
+    }
+
+    #[test]
+    fn known_topology_payloads_decode_correctly() {
+        let g = generators::cluster_chain(4, 5);
+        let params = Params::scaled(20);
+        let messages = msgs(5);
+        // Use the lower-level API to inspect decoded payloads.
+        let mut rng = stream_rng(3, 1000);
+        let (tree, _) = gst::build_gst(&g, &[NodeId::new(0)], &mut rng, &gst::BuildConfig::for_nodes(20));
+        let vd = gst::VirtualDistances::compute(&g, &tree);
+        let cfg = ScheduleConfig::from_params(&params);
+        let mut sim = Simulator::new(g.clone(), CollisionMode::NoDetection, 3, |id| {
+            let node =
+                MmvScheduleNode::new(cfg, SchedLabels::from_gst(&tree, &vd, id), 5, 32);
+            if id.index() == 0 {
+                node.with_messages(&messages)
+            } else {
+                node
+            }
+        });
+        let done =
+            sim.run_until(300_000, |nodes| nodes.iter().all(MmvScheduleNode::is_complete));
+        assert!(done.is_some());
+        for n in sim.nodes() {
+            assert_eq!(n.decoder().decode().unwrap(), messages);
+        }
+    }
+
+    #[test]
+    fn unknown_topology_single_ring_full_k() {
+        let g = generators::cluster_chain(4, 5);
+        let params = Params::scaled(20);
+        let out =
+            broadcast_unknown(&g, NodeId::new(0), &msgs(4), &params, 2, BatchMode::FullK);
+        assert!(
+            out.completion_round.is_some(),
+            "T1.3 failed within {} rounds",
+            out.rounds_budget
+        );
+    }
+
+    #[test]
+    fn unknown_topology_on_grid() {
+        let g = generators::grid(5, 5);
+        let params = Params::scaled(25);
+        let out =
+            broadcast_unknown(&g, NodeId::new(0), &msgs(6), &params, 3, BatchMode::FullK);
+        assert!(out.completion_round.is_some());
+    }
+
+    #[test]
+    fn unknown_topology_with_generations_and_rings() {
+        // Forced small rings + small generations: exercises batching, FEC
+        // handoff and the cross-ring pipeline.
+        let g = generators::cluster_chain(8, 3);
+        let mut params = Params::scaled(24);
+        params.ring_width = Some(4);
+        let out = broadcast_unknown(
+            &g,
+            NodeId::new(0),
+            &msgs(6),
+            &params,
+            4,
+            BatchMode::Generations(3),
+        );
+        assert!(
+            out.completion_round.is_some(),
+            "pipelined T1.3 failed within {} rounds",
+            out.rounds_budget
+        );
+    }
+
+    #[test]
+    fn plan_pipeline_covers_all_ring_batch_pairs() {
+        let mut params = Params::scaled(64);
+        params.ring_width = Some(3);
+        let plan = GhkMultiPlan::new(&params, 11, 10, BatchMode::Generations(4));
+        assert!(plan.ring_count > 1);
+        assert_eq!(plan.batch_count, 3);
+        for ring in 0..plan.ring_count {
+            for batch in 0..plan.batch_count {
+                let w = ring + batch;
+                assert_eq!(plan.batch_in_window(w, ring), Some(batch));
+            }
+        }
+        assert_eq!(plan.batch_in_window(0, 1), None);
+        assert_eq!(plan.phase(plan.total_rounds()), GhkMultiPhase::Done);
+    }
+
+    #[test]
+    fn batch_ranges_partition_messages() {
+        let params = Params::scaled(64);
+        let plan = GhkMultiPlan::new(&params, 5, 10, BatchMode::Generations(4));
+        let mut seen = vec![false; 10];
+        for b in 0..plan.batch_count {
+            for i in plan.batch_range(b) {
+                assert!(!seen[i], "message {i} in two batches");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
+

@@ -1,0 +1,200 @@
+//! Every `Θ(·)` constant of the paper, in one tunable place.
+//!
+//! The paper's round bounds hide constants inside `Θ(log n)` phase counts,
+//! `Θ(log^2 n)` recruiting iterations and `Θ(log n)` epoch counts. A
+//! simulation has to pick them. [`Params`] carries every such choice, with
+//! two presets:
+//!
+//! * [`Params::scaled`] — small constants for experiments. The asymptotic
+//!   *shapes* the benches measure are constant-independent; smaller constants
+//!   keep sweeps fast while the per-run `whp` guarantees degrade to
+//!   "overwhelmingly likely", which the harness *measures* (violation
+//!   counters) instead of assuming.
+//! * [`Params::faithful`] — constants sized like the proofs ask
+//!   (e.g. recruiting really gets `Θ(log^2 n)` iterations). Slow; used by a
+//!   few deep tests.
+
+use radio_sim::graph::ceil_log2;
+
+/// All tunable constants, derived from the network-size bound `n`.
+///
+/// Nodes are assumed to know a polynomial upper bound on `n` (the paper's
+/// standard assumption); every field below is computable from that bound, so
+/// sharing a `Params` value among nodes models shared knowledge of `n` only.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Params {
+    /// `⌈log2 n⌉` — the paper's `log n`: Decay phase length, rank cap,
+    /// schedule period base.
+    pub log_n: u32,
+    /// Decay phases run per "`Θ(log n)` phases of Decay" step.
+    pub decay_phases: u32,
+    /// Recruiting iterations (the paper's `Θ(log^2 n)`).
+    pub recruit_iterations: u32,
+    /// Epochs per rank in the Bipartite Assignment (the paper's `Θ(log n)`).
+    pub assignment_epochs: u32,
+    /// Ring width override for the `D/log^4 n` decomposition: `None` derives
+    /// it from `D`; `Some(w)` forces rings of `w` layers (used by the ring
+    /// experiments).
+    pub ring_width: Option<u32>,
+    /// Multiplier for broadcast phase windows (`λ` in the proofs): the
+    /// per-ring broadcast window is `window_slack * (ring span + log^2 n)`
+    /// rounds.
+    pub window_slack: u32,
+}
+
+impl Params {
+    /// Experiment-friendly constants for a network of at most `n` nodes.
+    pub fn scaled(n: usize) -> Self {
+        let log_n = ceil_log2(n.max(2));
+        Params {
+            log_n,
+            decay_phases: 4,
+            // Hold each of the log_n densities a few times.
+            recruit_iterations: 4 * log_n,
+            assignment_epochs: log_n + 6,
+            ring_width: None,
+            window_slack: 4,
+        }
+    }
+
+    /// Proof-sized constants (slow; for deep validation runs).
+    pub fn faithful(n: usize) -> Self {
+        let log_n = ceil_log2(n.max(2));
+        Params {
+            log_n,
+            decay_phases: 2 * log_n,
+            recruit_iterations: 2 * log_n * log_n,
+            assignment_epochs: 4 * log_n,
+            ring_width: None,
+            window_slack: 8,
+        }
+    }
+
+    /// The rank cap: ranks live in `1..=max_rank()`.
+    pub fn max_rank(&self) -> u32 {
+        self.log_n
+    }
+
+    /// Length of one Decay phase in rounds.
+    pub fn decay_phase_len(&self) -> u32 {
+        self.log_n
+    }
+
+    /// Rounds of one "`Θ(log n)` phases of Decay" step.
+    pub fn decay_step_rounds(&self) -> u32 {
+        self.decay_phases * self.decay_phase_len()
+    }
+
+    /// Rounds of one full Recruiting protocol run
+    /// (each iteration: beacon + a Decay phase + echo).
+    pub fn recruit_rounds(&self) -> u32 {
+        self.recruit_iterations * (2 + self.decay_phase_len())
+    }
+
+    /// Rounds of one epoch of the Bipartite Assignment algorithm:
+    /// Stage I (1 + loner decay), parts 1–3 (recruiting each), Stage III
+    /// (rank announcements).
+    pub fn epoch_rounds(&self) -> u32 {
+        1 + self.decay_step_rounds() + 3 * self.recruit_rounds() + self.decay_step_rounds()
+    }
+
+    /// Rounds of one rank's subproblem: identify + epochs.
+    pub fn rank_rounds(&self) -> u32 {
+        self.decay_step_rounds() + self.assignment_epochs * self.epoch_rounds()
+    }
+
+    /// Rounds of one boundary's Bipartite Assignment (all ranks).
+    pub fn boundary_rounds(&self) -> u32 {
+        self.max_rank() * self.rank_rounds()
+    }
+
+    /// The ring width for the decomposition of Theorem 1.1 / 1.3, honoring
+    /// the override.
+    ///
+    /// The paper uses `D' = D / log^4 n`, which at paper scale
+    /// (`D ≥ log^6 n`) automatically satisfies `D' ≥ log^2 n`. That lower
+    /// bound is what keeps the total inter-ring handoff cost
+    /// (`Θ(log^2 n)` per ring) additive rather than multiplicative in `D`,
+    /// so at simulation scale we enforce it explicitly:
+    /// `D' = max(D / log^4 n, 2·log^2 n)`. With the floor, graphs whose
+    /// diameter is below `2·log^2 n` use a single ring — exactly the paper's
+    /// footnote 7 ("if D is small, just one ring is enough").
+    ///
+    /// The floor of 2 on overrides keeps the parity-slotted parallel ring
+    /// constructions interference-free.
+    pub fn ring_width_for(&self, diameter_bound: u32) -> u32 {
+        if let Some(w) = self.ring_width {
+            return w.max(2);
+        }
+        let log4 = (self.log_n as u64).pow(4).max(1);
+        let paper = u64::from(diameter_bound) / log4;
+        let floor = 2 * (self.log_n as u64).pow(2);
+        let w = paper.max(floor).max(2);
+        u32::try_from(w).expect("ring width fits u32")
+    }
+
+    /// The period of the MMV schedule's fast-transmission pattern:
+    /// `6·⌈log2 n⌉`.
+    pub fn schedule_period(&self) -> u32 {
+        6 * self.log_n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_derives_log() {
+        let p = Params::scaled(1024);
+        assert_eq!(p.log_n, 10);
+        assert_eq!(p.max_rank(), 10);
+        assert_eq!(p.decay_phase_len(), 10);
+        assert_eq!(p.schedule_period(), 60);
+    }
+
+    #[test]
+    fn faithful_is_larger() {
+        let s = Params::scaled(256);
+        let f = Params::faithful(256);
+        assert!(f.recruit_iterations > s.recruit_iterations);
+        assert!(f.decay_phases > s.decay_phases);
+        assert!(f.rank_rounds() > s.rank_rounds());
+    }
+
+    #[test]
+    fn round_structure_composes() {
+        let p = Params::scaled(128);
+        assert_eq!(
+            p.epoch_rounds(),
+            1 + p.decay_step_rounds() + 3 * p.recruit_rounds() + p.decay_step_rounds()
+        );
+        assert_eq!(p.rank_rounds(), p.decay_step_rounds() + p.assignment_epochs * p.epoch_rounds());
+        assert_eq!(p.boundary_rounds(), p.max_rank() * p.rank_rounds());
+    }
+
+    #[test]
+    fn ring_width_floor_keeps_handoffs_additive() {
+        let p = Params::scaled(1024); // log_n = 10
+        // Small D: the 2·log^2 floor yields a single ring.
+        assert_eq!(p.ring_width_for(50), 200);
+        // Huge D: the paper's D / log^4 takes over.
+        assert_eq!(p.ring_width_for(3_000_000), 300);
+    }
+
+    #[test]
+    fn ring_width_override_wins() {
+        let mut p = Params::scaled(1024);
+        p.ring_width = Some(7);
+        assert_eq!(p.ring_width_for(1000), 7);
+        p.ring_width = Some(1);
+        assert_eq!(p.ring_width_for(1000), 2, "floor of 2 applies to overrides too");
+    }
+
+    #[test]
+    fn tiny_n_has_floor() {
+        let p = Params::scaled(1);
+        assert!(p.log_n >= 1);
+        assert!(p.rank_rounds() > 0);
+    }
+}

@@ -1,0 +1,540 @@
+//! Single-message broadcast in `O(D + log^6 n)` rounds with collision
+//! detection (Theorem 1.1).
+//!
+//! The pipeline, exactly as in the paper's proof:
+//!
+//! 1. **Collision-wave layering** (`D` rounds, needs CD) — every node learns
+//!    its BFS distance from the source;
+//! 2. **Ring decomposition** — layers are grouped into rings of
+//!    [`Params::ring_width_for`] consecutive layers; ring `j`'s roots are its
+//!    innermost layer;
+//! 3. **Parallel per-ring distributed GST construction** — every ring builds
+//!    a GST forest of its induced layering via
+//!    [`GstConstructionNode`](crate::construction::GstConstructionNode);
+//!    adjacent rings are interleaved on even/odd rounds
+//!    ([`Slotted`](crate::construction::Slotted)-style), which removes the
+//!    boundary interference the paper leaves implicit;
+//! 4. **Ring-by-ring broadcast** — inside ring `j` the message is broadcast
+//!    atop the GST with the schedule of Section 3.2 specialized to one
+//!    message and keyed on ring-local *levels* (the Gasieniec–Peleg–Xin
+//!    black-box role: `O(D' + log^2 n)` per ring; no virtual distances are
+//!    needed for `k = 1`), then `Θ(log^2 n)` rounds of Decay hand the message
+//!    from ring `j`'s outer boundary to ring `j+1`'s roots.
+//!
+//! Graphs whose diameter is below `2 log^2 n` use a single ring (the paper's
+//! footnote 7), which is the common case at simulation scale; experiment E12
+//! forces small rings to exercise the multi-ring machinery.
+
+use crate::construction::{ConstructionSchedule, GstConstructionNode, GstMsg};
+use crate::decay::DecaySchedule;
+use crate::layering::{Beep, CollisionWaveLayering};
+use crate::params::Params;
+use crate::schedule::{
+    EmptyBehavior, MmvScheduleNode, SchedAudit, SchedLabels, SchedMsg, ScheduleConfig, SlowKey,
+};
+use radio_sim::model::PacketBits;
+use radio_sim::{Action, CollisionMode, Graph, NodeId, Observation, Protocol, Simulator};
+use rand::rngs::SmallRng;
+use rlnc::gf2::BitVec;
+
+/// Messages of the Theorem 1.1 pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Ghk1Msg {
+    /// Collision-wave beep.
+    Wave(Beep),
+    /// GST-construction traffic.
+    Gst(GstMsg),
+    /// In-ring broadcast traffic.
+    Sched(SchedMsg),
+    /// Inter-ring handoff carrying the message payload.
+    Handoff(u64),
+}
+
+impl PacketBits for Ghk1Msg {
+    fn packet_bits(&self) -> usize {
+        2 + match self {
+            Ghk1Msg::Wave(b) => b.packet_bits(),
+            Ghk1Msg::Gst(m) => m.packet_bits(),
+            Ghk1Msg::Sched(m) => m.packet_bits(),
+            Ghk1Msg::Handoff(_) => 64,
+        }
+    }
+}
+
+/// The static phase plan of the pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ghk1Plan {
+    /// Diameter bound `D` (wave rounds).
+    pub d_bound: u32,
+    /// Ring width in layers.
+    pub ring_width: u32,
+    /// Number of rings.
+    pub ring_count: u32,
+    /// Per-ring construction schedule (ring-local levels `0..ring_width`).
+    pub cons: ConstructionSchedule,
+    /// Rounds of the (2-slotted) construction phase.
+    pub cons_rounds: u64,
+    /// Rounds of one in-ring broadcast window.
+    pub bcast_window: u64,
+    /// Rounds of one inter-ring handoff window.
+    pub handoff_window: u64,
+}
+
+/// Phases of the pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ghk1Phase {
+    /// Collision-wave layering.
+    Wave {
+        /// Round within the wave.
+        offset: u64,
+    },
+    /// Parallel slotted GST construction.
+    Construct {
+        /// Round within the phase.
+        offset: u64,
+    },
+    /// In-ring broadcast window of `ring`.
+    Broadcast {
+        /// The active ring.
+        ring: u32,
+        /// Round within the window.
+        offset: u64,
+    },
+    /// Handoff from `ring` to `ring + 1`.
+    Handoff {
+        /// The transmitting ring.
+        ring: u32,
+        /// Round within the window.
+        offset: u64,
+    },
+    /// Pipeline finished.
+    Done,
+}
+
+impl Ghk1Plan {
+    /// Builds the plan for diameter bound `d_bound` under `params`.
+    pub fn new(params: &Params, d_bound: u32) -> Self {
+        let d_bound = d_bound.max(1);
+        let ring_width = params.ring_width_for(d_bound).min(d_bound + 1);
+        let ring_count = (d_bound + 1).div_ceil(ring_width);
+        let cons = ConstructionSchedule::new(params, ring_width - 1);
+        let slack = u64::from(params.window_slack);
+        let l2 = u64::from(params.log_n) * u64::from(params.log_n);
+        Ghk1Plan {
+            d_bound,
+            ring_width,
+            ring_count,
+            cons,
+            cons_rounds: 2 * cons.total_rounds(),
+            bcast_window: slack * (2 * u64::from(ring_width) + 2 * l2),
+            handoff_window: slack * l2,
+        }
+    }
+
+    /// Total pipeline rounds.
+    pub fn total_rounds(&self) -> u64 {
+        u64::from(self.d_bound)
+            + self.cons_rounds
+            + u64::from(self.ring_count) * self.bcast_window
+            + u64::from(self.ring_count.saturating_sub(1)) * self.handoff_window
+    }
+
+    /// Resolves round `t` to its phase.
+    pub fn phase(&self, t: u64) -> Ghk1Phase {
+        let mut t = t;
+        if t < u64::from(self.d_bound) {
+            return Ghk1Phase::Wave { offset: t };
+        }
+        t -= u64::from(self.d_bound);
+        if t < self.cons_rounds {
+            return Ghk1Phase::Construct { offset: t };
+        }
+        t -= self.cons_rounds;
+        let cycle = self.bcast_window + self.handoff_window;
+        let ring = u32::try_from(t / cycle).expect("fits");
+        if ring >= self.ring_count {
+            return Ghk1Phase::Done;
+        }
+        let in_cycle = t % cycle;
+        if in_cycle < self.bcast_window {
+            Ghk1Phase::Broadcast { ring, offset: in_cycle }
+        } else if ring + 1 < self.ring_count {
+            Ghk1Phase::Handoff { ring, offset: in_cycle - self.bcast_window }
+        } else {
+            Ghk1Phase::Done
+        }
+    }
+}
+
+/// One node of the Theorem 1.1 pipeline.
+#[derive(Clone, Debug)]
+pub struct Ghk1Node {
+    id: u32,
+    params: Params,
+    plan: Ghk1Plan,
+    wave: CollisionWaveLayering,
+    /// Ring index and ring-local level, known after the wave.
+    ring: Option<(u32, u32)>,
+    cons: Option<GstConstructionNode>,
+    sched: Option<MmvScheduleNode>,
+    message: Option<u64>,
+    decay: DecaySchedule,
+}
+
+impl Ghk1Node {
+    /// A pipeline node; the source holds `message`.
+    pub fn new(params: &Params, plan: Ghk1Plan, id: u32, message: Option<u64>) -> Self {
+        Ghk1Node {
+            id,
+            params: params.clone(),
+            plan,
+            wave: CollisionWaveLayering::new(message.is_some()),
+            ring: None,
+            cons: None,
+            sched: None,
+            message,
+            decay: DecaySchedule::new(params.decay_phase_len()),
+        }
+    }
+
+    /// Whether this node holds (or has decoded) the message.
+    pub fn has_message(&self) -> bool {
+        self.message.is_some()
+            || self.sched.as_ref().is_some_and(MmvScheduleNode::is_complete)
+    }
+
+    /// The message, once held.
+    pub fn message(&self) -> Option<u64> {
+        self.message
+    }
+
+    /// The node's BFS layer, once learned.
+    pub fn layer(&self) -> Option<u32> {
+        self.wave.level()
+    }
+
+    /// Schedule audit counters from the broadcast phase.
+    pub fn audit(&self) -> SchedAudit {
+        self.sched.as_ref().map(|s| s.audit()).unwrap_or_default()
+    }
+
+    /// Construction fallback/orphan accounting.
+    pub fn construction_stats(&self) -> Option<crate::construction::NodeStats> {
+        self.cons.as_ref().map(|c| c.stats())
+    }
+
+    /// Harvests the decoded message out of the schedule node, if complete.
+    fn harvest(&mut self) {
+        if self.message.is_none() {
+            if let Some(s) = &self.sched {
+                if let Some(decoded) = s.decoder().decode() {
+                    let mut value = 0u64;
+                    for (b, bit) in (0..64).zip(0..decoded[0].len().min(64)) {
+                        if decoded[0].get(bit) {
+                            value |= 1 << b;
+                        }
+                    }
+                    self.message = Some(value);
+                }
+            }
+        }
+    }
+
+    fn ensure_ring(&mut self) {
+        if self.ring.is_none() {
+            if let Some(layer) = self.wave.level() {
+                let ring = layer / self.plan.ring_width;
+                let ring_level = layer % self.plan.ring_width;
+                self.ring = Some((ring, ring_level));
+            }
+        }
+    }
+
+    fn ensure_cons(&mut self) {
+        self.ensure_ring();
+        if self.cons.is_none() {
+            if let Some((_, ring_level)) = self.ring {
+                self.cons = Some(GstConstructionNode::new(
+                    &self.params,
+                    self.plan.cons,
+                    self.id,
+                    ring_level,
+                ));
+            }
+        }
+    }
+
+    fn ensure_sched(&mut self) {
+        if self.sched.is_none() {
+            if let (Some(cons), Some((_, _))) = (&self.cons, self.ring) {
+                let l = cons.labels();
+                let labels = SchedLabels {
+                    level: l.level,
+                    rank: l.rank,
+                    vdist: 0,
+                    stretch_start: l.is_stretch_start(),
+                    fast_transmitter: l.has_stretch_child,
+                    in_stretch: l.in_stretch(),
+                };
+                let cfg = ScheduleConfig {
+                    log_n: self.params.log_n,
+                    slow_key: SlowKey::Level,
+                    empty: EmptyBehavior::Silent,
+                };
+                let mut node = MmvScheduleNode::new(cfg, labels, 1, 64);
+                if let Some(m) = self.message {
+                    node = node.with_messages(&[BitVec::from_u64(m, 64)]);
+                }
+                self.sched = Some(node);
+            }
+        }
+    }
+}
+
+impl Protocol for Ghk1Node {
+    type Msg = Ghk1Msg;
+
+    fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<Ghk1Msg> {
+        match self.plan.phase(round) {
+            Ghk1Phase::Wave { offset } => match self.wave.act(offset, rng) {
+                Action::Transmit(b) => Action::Transmit(Ghk1Msg::Wave(b)),
+                Action::Listen => Action::Listen,
+            },
+            Ghk1Phase::Construct { offset } => {
+                self.ensure_cons();
+                let Some((ring, _)) = self.ring else { return Action::Listen };
+                if offset % 2 != u64::from(ring % 2) {
+                    return Action::Listen;
+                }
+                match self.cons.as_mut().expect("created above").act(offset / 2, rng) {
+                    Action::Transmit(m) => Action::Transmit(Ghk1Msg::Gst(m)),
+                    Action::Listen => Action::Listen,
+                }
+            }
+            Ghk1Phase::Broadcast { ring, offset } => {
+                self.ensure_sched();
+                let Some((my_ring, _)) = self.ring else { return Action::Listen };
+                if my_ring != ring {
+                    return Action::Listen;
+                }
+                // A late holder (handoff) seeds the schedule decoder lazily.
+                if offset == 0 {
+                    if let (Some(m), Some(s)) = (self.message, &mut self.sched) {
+                        if s.decoder().is_empty() {
+                            *s = s.clone().with_messages(&[BitVec::from_u64(m, 64)]);
+                        }
+                    }
+                }
+                match self.sched.as_mut().expect("created above").act(offset, rng) {
+                    Action::Transmit(m) => Action::Transmit(Ghk1Msg::Sched(m)),
+                    Action::Listen => Action::Listen,
+                }
+            }
+            Ghk1Phase::Handoff { ring, offset } => {
+                self.harvest();
+                let Some((my_ring, ring_level)) = self.ring else { return Action::Listen };
+                let outer = my_ring == ring && ring_level == self.plan.ring_width - 1;
+                if outer && self.message.is_some() && self.decay.fires(offset, rng) {
+                    return Action::Transmit(Ghk1Msg::Handoff(self.message.expect("checked")));
+                }
+                Action::Listen
+            }
+            Ghk1Phase::Done => {
+                self.harvest();
+                Action::Listen
+            }
+        }
+    }
+
+    fn observe(&mut self, round: u64, obs: Observation<Ghk1Msg>, rng: &mut SmallRng) {
+        match self.plan.phase(round) {
+            Ghk1Phase::Wave { offset } => {
+                let mapped = match obs {
+                    Observation::Message(Ghk1Msg::Wave(b)) => Observation::Message(b),
+                    Observation::Collision => Observation::Collision,
+                    Observation::SelfTransmit => Observation::SelfTransmit,
+                    _ => Observation::Silence,
+                };
+                self.wave.observe(offset, mapped, rng);
+            }
+            Ghk1Phase::Construct { offset } => {
+                let Some((ring, _)) = self.ring else { return };
+                if offset % 2 != u64::from(ring % 2) {
+                    return;
+                }
+                let mapped = match obs {
+                    Observation::Message(Ghk1Msg::Gst(m)) => Observation::Message(m),
+                    Observation::Collision => Observation::Collision,
+                    Observation::SelfTransmit => Observation::SelfTransmit,
+                    _ => Observation::Silence,
+                };
+                if let Some(c) = self.cons.as_mut() {
+                    c.observe(offset / 2, mapped, rng);
+                }
+            }
+            Ghk1Phase::Broadcast { ring, offset } => {
+                let Some((my_ring, _)) = self.ring else { return };
+                if my_ring != ring {
+                    return;
+                }
+                let mapped = match obs {
+                    Observation::Message(Ghk1Msg::Sched(m)) => Observation::Message(m),
+                    Observation::Collision => Observation::Collision,
+                    Observation::SelfTransmit => Observation::SelfTransmit,
+                    _ => Observation::Silence,
+                };
+                if let Some(s) = self.sched.as_mut() {
+                    s.observe(offset, mapped, rng);
+                }
+            }
+            Ghk1Phase::Handoff { ring, .. } => {
+                let Some((my_ring, ring_level)) = self.ring else { return };
+                if my_ring == ring + 1 && ring_level == 0 && self.message.is_none() {
+                    if let Observation::Message(Ghk1Msg::Handoff(m)) = obs {
+                        self.message = Some(m);
+                    }
+                }
+            }
+            Ghk1Phase::Done => {}
+        }
+    }
+}
+
+/// Outcome of a full pipeline run.
+#[derive(Clone, Debug)]
+pub struct Ghk1Outcome {
+    /// Round at which every node held the message, `None` on failure.
+    pub completion_round: Option<u64>,
+    /// The plan that was executed.
+    pub plan: Ghk1Plan,
+    /// Aggregated schedule audit.
+    pub audit: SchedAudit,
+    /// Nodes that used the construction fallback.
+    pub fallbacks: usize,
+}
+
+/// Runs Theorem 1.1 end to end on `graph` from `source`.
+///
+/// # Panics
+///
+/// Panics if the graph is empty.
+pub fn broadcast_single(
+    graph: &Graph,
+    source: NodeId,
+    payload: u64,
+    params: &Params,
+    seed: u64,
+) -> Ghk1Outcome {
+    use radio_sim::graph::Traversal;
+    assert!(graph.node_count() > 0, "graph must be non-empty");
+    let d = graph.bfs(source).max_level();
+    let plan = Ghk1Plan::new(params, d.max(1));
+    let mut sim = Simulator::new(graph.clone(), CollisionMode::Detection, seed, |id| {
+        Ghk1Node::new(params, plan, id.raw(), (id == source).then_some(payload))
+    });
+    let completion_round =
+        sim.run_until(plan.total_rounds() + 1, |nodes| nodes.iter().all(Ghk1Node::has_message));
+    let mut audit = SchedAudit::default();
+    let mut fallbacks = 0;
+    for n in sim.nodes() {
+        let a = n.audit();
+        audit.fast_collisions_bystander += a.fast_collisions_bystander;
+        audit.fast_collisions_in_stretch += a.fast_collisions_in_stretch;
+        audit.slow_collisions += a.slow_collisions;
+        if n.construction_stats().is_some_and(|s| s.fallback_used) {
+            fallbacks += 1;
+        }
+    }
+    Ghk1Outcome { completion_round, plan, audit, fallbacks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_sim::graph::generators;
+    use radio_sim::rng::stream_rng;
+
+    fn check_completes(g: Graph, seed: u64) -> Ghk1Outcome {
+        let params = Params::scaled(g.node_count());
+        let out = broadcast_single(&g, NodeId::new(0), 0xDADA, &params, seed);
+        assert!(
+            out.completion_round.is_some(),
+            "broadcast did not complete within {} rounds (plan {:?})",
+            out.plan.total_rounds(),
+            out.plan
+        );
+        out
+    }
+
+    #[test]
+    fn completes_on_path() {
+        check_completes(generators::path(20), 1);
+    }
+
+    #[test]
+    fn completes_on_star() {
+        check_completes(generators::star(16), 2);
+    }
+
+    #[test]
+    fn completes_on_grid() {
+        check_completes(generators::grid(5, 5), 3);
+    }
+
+    #[test]
+    fn completes_on_cluster_chain() {
+        check_completes(generators::cluster_chain(5, 5), 4);
+    }
+
+    #[test]
+    fn completes_on_random_graph() {
+        let mut rng = stream_rng(11, 0);
+        let g = generators::gnp_connected(40, 0.1, &mut rng);
+        check_completes(g, 5);
+    }
+
+    #[test]
+    fn completes_with_forced_rings() {
+        // Force small rings so the multi-ring path (parallel construction,
+        // handoffs) is exercised.
+        let g = generators::cluster_chain(8, 4);
+        let mut params = Params::scaled(32);
+        params.ring_width = Some(4);
+        let out = broadcast_single(&g, NodeId::new(0), 99, &params, 6);
+        assert!(out.plan.ring_count > 1, "expected multiple rings");
+        assert!(
+            out.completion_round.is_some(),
+            "multi-ring broadcast failed (plan {:?})",
+            out.plan
+        );
+    }
+
+    #[test]
+    fn plan_phases_partition_rounds() {
+        let params = Params::scaled(64);
+        let mut p2 = params.clone();
+        p2.ring_width = Some(3);
+        let plan = Ghk1Plan::new(&p2, 10);
+        assert!(plan.ring_count > 1);
+        let mut seen_handoff = false;
+        let mut seen_bcast = vec![false; plan.ring_count as usize];
+        for t in 0..plan.total_rounds() {
+            match plan.phase(t) {
+                Ghk1Phase::Broadcast { ring, .. } => seen_bcast[ring as usize] = true,
+                Ghk1Phase::Handoff { .. } => seen_handoff = true,
+                _ => {}
+            }
+        }
+        assert!(seen_handoff);
+        assert!(seen_bcast.iter().all(|&b| b));
+        assert_eq!(plan.phase(plan.total_rounds()), Ghk1Phase::Done);
+    }
+
+    #[test]
+    fn single_node_graph_trivially_done() {
+        let g = Graph::from_edges(1, []).unwrap();
+        let params = Params::scaled(1);
+        let out = broadcast_single(&g, NodeId::new(0), 1, &params, 0);
+        assert_eq!(out.completion_round, Some(0));
+    }
+}

@@ -1,0 +1,456 @@
+//! Centralized GST construction (the role of Gasieniec–Peleg–Xin [7]).
+//!
+//! The paper uses the existence of a GST (for the known-topology results) via
+//! the `O(n^2)`-step centralized construction of [7]. We implement that role
+//! as an *omniscient* version of the paper's own Bipartite Assignment
+//! algorithm (Section 2.2.3): the same epoch structure — loner detection,
+//! loner-parents recruiting all their neighbors, a random brisk/lazy split of
+//! the remaining reds, exactly-one-recruit pairs staying active, marked reds
+//! adopting strictly-lower-rank blues — but with *exact* recruiting instead of
+//! radio rounds. The collision-freeness argument (Lemma 2.5) applies verbatim,
+//! and the same seeded randomness breaks the brisk/lazy symmetry.
+//!
+//! Randomized symmetry breaking can in principle stall; a configurable epoch
+//! budget guards each rank, after which remaining blues are assigned by a
+//! fallback (and counted in [`BuildReport::fallback_assignments`], so tests
+//! can assert the construction essentially never needs it).
+
+use crate::tree::Gst;
+use radio_sim::graph::Traversal;
+use radio_sim::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Tuning knobs for [`build_gst`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BuildConfig {
+    /// Epochs allowed per rank before the fallback kicks in.
+    /// The paper uses `Θ(log n)`; the default is generous.
+    pub max_epochs_per_rank: u32,
+}
+
+impl BuildConfig {
+    /// A comfortable default for graphs of `n` nodes:
+    /// `8·⌈log2 n⌉ + 32` epochs per rank.
+    pub fn for_nodes(n: usize) -> Self {
+        BuildConfig { max_epochs_per_rank: 8 * radio_sim::graph::ceil_log2(n.max(2)) + 32 }
+    }
+}
+
+/// Statistics of one construction run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BuildReport {
+    /// Total epochs executed across all (level, rank) subproblems.
+    pub epochs: u64,
+    /// Blues assigned by the out-of-budget fallback (0 in healthy runs).
+    pub fallback_assignments: u64,
+    /// The largest rank assigned.
+    pub max_rank: u32,
+}
+
+/// Builds a GST (forest) of `graph` rooted at `roots`.
+///
+/// All nodes must be reachable from `roots`.
+///
+/// # Panics
+///
+/// Panics if `roots` is empty, contains duplicates, or some node is
+/// unreachable from the root set.
+pub fn build_gst(
+    graph: &Graph,
+    roots: &[NodeId],
+    rng: &mut impl Rng,
+    config: &BuildConfig,
+) -> (Gst, BuildReport) {
+    assert!(!roots.is_empty(), "at least one root required");
+    let n = graph.node_count();
+    let layering = graph.bfs_multi(roots);
+    assert_eq!(
+        layering.reachable_count(),
+        n,
+        "every node must be reachable from the root set"
+    );
+    let layers = layering.layers();
+    let max_level = layering.max_level() as usize;
+
+    let mut rank: Vec<Option<u32>> = vec![None; n];
+    let mut parent: Vec<Option<u32>> = vec![None; n];
+    let mut report = BuildReport::default();
+
+    // Process boundaries from the deepest level towards the roots.
+    for l in (1..=max_level).rev() {
+        // Any still-unranked node at level l is childless at this point: rank 1.
+        for &v in &layers[l] {
+            rank[v.index()].get_or_insert(1);
+        }
+        assign_boundary(
+            graph,
+            &layers[l - 1],
+            &layers[l],
+            &mut rank,
+            &mut parent,
+            rng,
+            config,
+            &mut report,
+        );
+    }
+    // Rank leftover childless nodes at level 0.
+    for &v in &layers[0] {
+        rank[v.index()].get_or_insert(1);
+    }
+
+    let ranks: Vec<u32> = rank.into_iter().map(|r| r.expect("every node ranked")).collect();
+    report.max_rank = ranks.iter().copied().max().unwrap_or(0);
+    let levels: Vec<u32> = (0..n).map(|v| layering.level(NodeId::new(v))).collect();
+    let gst = Gst::new(levels, ranks, parent).expect("construction yields a well-shaped tree");
+    (gst, report)
+}
+
+/// Solves the Bipartite Assignment Problem between `reds` (level `l-1`) and
+/// `blues` (level `l`), rank by rank from the largest blue rank down.
+#[allow(clippy::too_many_arguments)]
+fn assign_boundary(
+    graph: &Graph,
+    reds: &[NodeId],
+    blues: &[NodeId],
+    rank: &mut [Option<u32>],
+    parent: &mut [Option<u32>],
+    rng: &mut impl Rng,
+    config: &BuildConfig,
+    report: &mut BuildReport,
+) {
+    let n = graph.node_count();
+    let is_red = {
+        let mut v = vec![false; n];
+        for &r in reds {
+            v[r.index()] = true;
+        }
+        v
+    };
+    let is_blue = {
+        let mut v = vec![false; n];
+        for &b in blues {
+            v[b.index()] = true;
+        }
+        v
+    };
+
+    let max_blue_rank =
+        blues.iter().map(|&b| rank[b.index()].expect("blues are ranked")).max().unwrap_or(1);
+
+    for i in (1..=max_blue_rank).rev() {
+        let mut unassigned: Vec<NodeId> = blues
+            .iter()
+            .copied()
+            .filter(|&b| rank[b.index()] == Some(i) && parent[b.index()].is_none())
+            .collect();
+        if unassigned.is_empty() {
+            continue;
+        }
+
+        // "Identify the red neighbors of the blue nodes with rank i": the
+        // active reds for this subproblem.
+        let mut active = vec![false; n];
+        for &b in &unassigned {
+            for &r in graph.neighbors(b) {
+                if is_red[r.index()] && rank[r.index()].is_none() {
+                    active[r.index()] = true;
+                }
+            }
+        }
+
+        let mut epochs_left = config.max_epochs_per_rank;
+        while !unassigned.is_empty() && epochs_left > 0 {
+            epochs_left -= 1;
+            report.epochs += 1;
+            run_epoch(
+                graph, &is_blue, i, &mut unassigned, &mut active, rank, parent, rng,
+            );
+        }
+
+        // Fallback for the (rare) case the epoch budget ran out.
+        for &b in &unassigned {
+            let candidates: Vec<NodeId> = graph
+                .neighbors(b)
+                .iter()
+                .copied()
+                .filter(|&r| is_red[r.index()] && active[r.index()])
+                .collect();
+            let chosen = candidates
+                .choose(rng)
+                .copied()
+                .or_else(|| {
+                    graph.neighbors(b).iter().copied().find(|&r| is_red[r.index()])
+                })
+                .expect("blue node has a previous-level neighbor by BFS construction");
+            parent[b.index()] = Some(chosen.raw());
+            report.fallback_assignments += 1;
+            match &mut rank[chosen.index()] {
+                slot @ None => *slot = Some(i),
+                Some(r) if *r == i => *r = i + 1,
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// One epoch of the assignment algorithm for rank `i` (Section 2.2.3),
+/// with exact recruiting.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch(
+    graph: &Graph,
+    is_blue: &[bool],
+    i: u32,
+    unassigned: &mut Vec<NodeId>,
+    active: &mut [bool],
+    rank: &mut [Option<u32>],
+    parent: &mut [Option<u32>],
+    rng: &mut impl Rng,
+) {
+    let n = graph.node_count();
+
+    let active_nbrs = |u: NodeId, active: &[bool]| -> Vec<NodeId> {
+        graph.neighbors(u).iter().copied().filter(|&r| active[r.index()]).collect()
+    };
+
+    // Stage I: detect loners and loner-parents.
+    let mut is_loner_parent = vec![false; n];
+    for &u in unassigned.iter() {
+        let nbrs = active_nbrs(u, active);
+        if nbrs.len() == 1 {
+            is_loner_parent[nbrs[0].index()] = true;
+        }
+    }
+
+    let mut children_count = vec![0u32; n];
+    let mut assigned_now = vec![false; n];
+    let mut newly_ranked: Vec<NodeId> = Vec::new();
+
+    // Stage II part 1: every blue adjacent to a loner-parent is recruited by
+    // a uniformly random adjacent loner-parent. Permanent.
+    for &u in unassigned.iter() {
+        let lp: Vec<NodeId> =
+            active_nbrs(u, active).into_iter().filter(|&r| is_loner_parent[r.index()]).collect();
+        if let Some(&v) = lp.choose(rng) {
+            parent[u.index()] = Some(v.raw());
+            assigned_now[u.index()] = true;
+            children_count[v.index()] += 1;
+        }
+    }
+    for v in 0..n {
+        if is_loner_parent[v] {
+            debug_assert!(children_count[v] >= 1, "loner-parent recruits its loner");
+            rank[v] = Some(if children_count[v] == 1 { i } else { i + 1 });
+            active[v] = false;
+            newly_ranked.push(NodeId::new(v));
+        }
+    }
+
+    // Brisk/lazy split of the remaining active reds.
+    let mut is_brisk = vec![false; n];
+    for v in 0..n {
+        if active[v] {
+            is_brisk[v] = rng.gen_bool(0.5);
+        }
+    }
+
+    // Parts 2 and 3: recruit with the brisk set, then with the lazy set.
+    let mut temporary: Vec<(NodeId, NodeId)> = Vec::new();
+    for part_is_brisk in [true, false] {
+        // Which blues does each participating red recruit this part?
+        let mut recruits: Vec<(NodeId, NodeId)> = Vec::new(); // (blue, red)
+        let mut part_count = vec![0u32; n];
+        for &u in unassigned.iter() {
+            if assigned_now[u.index()] {
+                continue;
+            }
+            let candidates: Vec<NodeId> = active_nbrs(u, active)
+                .into_iter()
+                .filter(|&r| is_brisk[r.index()] == part_is_brisk)
+                .collect();
+            if let Some(&v) = candidates.choose(rng) {
+                recruits.push((u, v));
+                part_count[v.index()] += 1;
+            }
+        }
+        // Settle this part's reds: >=2 recruits -> permanent + rank i+1;
+        // exactly 1 -> temporary; 0 recruits -> marked, deactivated, unranked.
+        for (u, v) in recruits {
+            if part_count[v.index()] >= 2 {
+                parent[u.index()] = Some(v.raw());
+                assigned_now[u.index()] = true;
+            } else {
+                temporary.push((u, v));
+                assigned_now[u.index()] = true; // inactive for the rest of the epoch
+            }
+        }
+        for v in 0..n {
+            if active[v] && is_brisk[v] == part_is_brisk {
+                match part_count[v] {
+                    0 => active[v] = false, // marked, no rank yet
+                    1 => {}                 // temporary pair: stays active
+                    _ => {
+                        rank[v] = Some(i + 1);
+                        active[v] = false;
+                        newly_ranked.push(NodeId::new(v));
+                    }
+                }
+            }
+        }
+    }
+
+    // Stage III: blues of strictly lower rank adjacent to a newly ranked red
+    // adopt one of them as parent.
+    let mut is_newly_ranked = vec![false; n];
+    for &v in &newly_ranked {
+        is_newly_ranked[v.index()] = true;
+    }
+    if !newly_ranked.is_empty() {
+        for w in 0..n {
+            let w_id = NodeId::new(w);
+            if !is_blue[w] || parent[w].is_some() || assigned_now[w] {
+                continue;
+            }
+            let Some(rw) = rank[w] else { continue };
+            if rw >= i {
+                continue;
+            }
+            let candidates: Vec<NodeId> = graph
+                .neighbors(w_id)
+                .iter()
+                .copied()
+                .filter(|&v| is_newly_ranked[v.index()])
+                .collect();
+            if let Some(&v) = candidates.choose(rng) {
+                parent[w] = Some(v.raw());
+            }
+        }
+    }
+
+    // End of epoch: temporary assignments dissolve (both sides stay active).
+    for (u, _v) in temporary {
+        assigned_now[u.index()] = false;
+    }
+
+    unassigned.retain(|&u| parent[u.index()].is_none());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_gst;
+    use radio_sim::graph::generators;
+    use radio_sim::rng::stream_rng;
+
+    fn build_and_verify(graph: &Graph, seed: u64) -> (Gst, BuildReport) {
+        let mut rng = stream_rng(seed, 0);
+        let config = BuildConfig::for_nodes(graph.node_count());
+        let (gst, report) = build_gst(graph, &[NodeId::new(0)], &mut rng, &config);
+        let violations = verify_gst(graph, &gst, &[NodeId::new(0)]);
+        assert!(violations.is_empty(), "violations: {violations:#?}");
+        assert_eq!(report.fallback_assignments, 0, "fallback used");
+        (gst, report)
+    }
+
+    #[test]
+    fn path_gst() {
+        let g = generators::path(20);
+        let (gst, _) = build_and_verify(&g, 1);
+        assert_eq!(gst.max_rank(), 1); // a path is one long stretch
+    }
+
+    #[test]
+    fn star_gst() {
+        let g = generators::star(10);
+        let (gst, _) = build_and_verify(&g, 2);
+        assert_eq!(gst.rank(NodeId::new(0)), 2);
+    }
+
+    #[test]
+    fn complete_graph_gst() {
+        let g = generators::complete(12);
+        let (gst, _) = build_and_verify(&g, 3);
+        assert_eq!(gst.max_level(), 1);
+    }
+
+    #[test]
+    fn grid_gst() {
+        let g = generators::grid(8, 8);
+        let (gst, _) = build_and_verify(&g, 4);
+        assert!(gst.max_rank() <= radio_sim::graph::ceil_log2(64));
+    }
+
+    #[test]
+    fn cluster_chain_gst() {
+        let g = generators::cluster_chain(6, 6);
+        build_and_verify(&g, 5);
+    }
+
+    #[test]
+    fn random_graphs_gst_over_seeds() {
+        for seed in 0..8 {
+            let mut rng = stream_rng(seed, 7);
+            let g = generators::gnp_connected(60, 0.08, &mut rng);
+            build_and_verify(&g, seed);
+        }
+    }
+
+    #[test]
+    fn unit_disk_gst() {
+        let mut rng = stream_rng(11, 0);
+        let g = generators::unit_disk(150, 0.15, &mut rng);
+        build_and_verify(&g, 11);
+    }
+
+    #[test]
+    fn rank_bound_holds() {
+        for seed in 0..4 {
+            let mut rng = stream_rng(seed, 9);
+            let g = generators::gnp_connected(128, 0.05, &mut rng);
+            let (gst, _) = build_and_verify(&g, seed + 100);
+            assert!(
+                gst.max_rank() <= radio_sim::graph::ceil_log2(128),
+                "rank {} exceeds paper bound",
+                gst.max_rank()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_root_forest_construction() {
+        let g = generators::grid(6, 6);
+        let roots = vec![NodeId::new(0), NodeId::new(5)];
+        let mut rng = stream_rng(3, 3);
+        let (gst, report) = build_gst(&g, &roots, &mut rng, &BuildConfig::for_nodes(36));
+        assert_eq!(report.fallback_assignments, 0);
+        assert_eq!(gst.roots(), roots);
+        let violations = verify_gst(&g, &gst, &roots);
+        assert!(violations.is_empty(), "{violations:#?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::grid(5, 5);
+        let build = |seed| {
+            let mut rng = stream_rng(seed, 0);
+            build_gst(&g, &[NodeId::new(0)], &mut rng, &BuildConfig::for_nodes(25)).0
+        };
+        assert_eq!(build(5), build(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "reachable")]
+    fn disconnected_graph_panics() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let mut rng = stream_rng(0, 0);
+        let _ = build_gst(&g, &[NodeId::new(0)], &mut rng, &BuildConfig::for_nodes(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one root")]
+    fn empty_roots_panics() {
+        let g = generators::path(3);
+        let mut rng = stream_rng(0, 0);
+        let _ = build_gst(&g, &[], &mut rng, &BuildConfig::for_nodes(3));
+    }
+}

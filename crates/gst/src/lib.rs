@@ -1,0 +1,53 @@
+//! # gst — Gathering Spanning Trees
+//!
+//! Data structures, verification and a centralized construction for the
+//! *Gathering Spanning Trees* (GSTs) of Gasieniec, Peleg and Xin, as used by
+//! Ghaffari–Haeupler–Khabbazian (Section 2 of the paper).
+//!
+//! A GST is a BFS tree whose nodes carry *ranks* assigned by the inductive
+//! rule (leaves get rank 1; a parent gets the maximum child rank, plus one if
+//! that maximum is attained twice), such that the *collision-freeness*
+//! property holds: rank-`r` parent edges between consecutive levels form an
+//! induced matching. Maximal same-rank root-to-leaf path segments are *fast
+//! stretches*; a broadcast can be pipelined down a stretch with one hop per
+//! (fast) round, and at most `⌈log2 n⌉` stretch changes separate the source
+//! from any node.
+//!
+//! Provided here:
+//!
+//! * [`Gst`] — the labelled tree (levels, ranks, parents), with stretch and
+//!   children accessors; supports multiple roots (a *GST forest*), which the
+//!   paper's ring decomposition needs;
+//! * [`ranking`] — the inductive ranking rule as a pure function;
+//! * [`verify`] — a full structural verifier used as a test oracle for every
+//!   construction (centralized and distributed);
+//! * [`centralized`] — an omniscient implementation of the paper's epoch
+//!   structure (the Gasieniec–Peleg–Xin role), used in the known-topology
+//!   algorithms and as the reference for the distributed construction;
+//! * [`virtual_graph`] — the directed stretch graph `G'` and *virtual
+//!   distances* of Section 3.2 (`d_u ≤ 2⌈log2 n⌉`, Lemma 3.4).
+//!
+//! ## Fast-transmission eligibility
+//!
+//! During implementation we found that the paper's Lemma 3.5 ("no collisions
+//! between fast transmissions") requires a refinement: a node whose stretch
+//! ends at itself (no same-rank child) must *not* fast-transmit — its wave
+//! would serve no stretch descendant, and same-rank childless nodes (e.g.
+//! leaves, which all share rank 1) may share neighbors, which would collide.
+//! [`Gst::is_fast_transmitter`] encodes this eligibility; the schedule code
+//! in the `broadcast` crate uses it, and experiment E13 audits the result.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod centralized;
+pub mod ranking;
+pub mod tree;
+pub mod verify;
+pub mod virtual_graph;
+
+pub use centralized::{build_gst, BuildConfig, BuildReport};
+pub use tree::{Gst, GstShapeError, Stretch};
+pub use verify::{verify_gst, GstViolation};
+pub use virtual_graph::VirtualDistances;

@@ -1,0 +1,148 @@
+//! The inductive ranking rule of ranked BFS trees (Section 2.1).
+//!
+//! > Each leaf of `T` gets rank 1. Consider node `v` with all children ranked,
+//! > and let `r` be the maximum child rank. If `v` has exactly one child of
+//! > rank `r`, `v` gets rank `r`; with two or more children of rank `r`, `v`
+//! > gets rank `r + 1`.
+
+/// Computes ranks for a forest given `parents[v]` (`None` for roots).
+///
+/// Nodes are processed children-before-parents; the forest may have any
+/// number of roots. Returns `ranks[v] >= 1` for every node.
+///
+/// # Panics
+///
+/// Panics if the parent pointers contain a cycle.
+pub fn compute_ranks(parents: &[Option<u32>]) -> Vec<u32> {
+    let n = parents.len();
+    // Topologically order nodes by processing leaves upward: count children.
+    let mut pending_children = vec![0u32; n];
+    for p in parents.iter().flatten() {
+        pending_children[*p as usize] += 1;
+    }
+    // (max child rank, multiplicity at that max) accumulated per node.
+    let mut best = vec![(0u32, 0u32); n];
+    let mut ranks = vec![0u32; n];
+    let mut stack: Vec<u32> = (0..n as u32).filter(|&v| pending_children[v as usize] == 0).collect();
+    let mut processed = 0usize;
+    while let Some(v) = stack.pop() {
+        processed += 1;
+        let (max_rank, multiplicity) = best[v as usize];
+        ranks[v as usize] = match multiplicity {
+            0 => 1,                 // leaf
+            1 => max_rank,          // unique maximum child rank
+            _ => max_rank + 1,      // tied maximum
+        };
+        if let Some(p) = parents[v as usize] {
+            let r = ranks[v as usize];
+            let entry = &mut best[p as usize];
+            match r.cmp(&entry.0) {
+                std::cmp::Ordering::Greater => *entry = (r, 1),
+                std::cmp::Ordering::Equal => entry.1 += 1,
+                std::cmp::Ordering::Less => {}
+            }
+            pending_children[p as usize] -= 1;
+            if pending_children[p as usize] == 0 {
+                stack.push(p);
+            }
+        }
+    }
+    assert_eq!(processed, n, "parent pointers contain a cycle");
+    ranks
+}
+
+/// The maximum rank any ranked tree on `n` nodes can attain:
+/// `⌊log2(n + 1)⌋`, since a rank-`r` node needs at least `2^r − 1`
+/// descendants (itself included). The paper states the weaker
+/// `⌈log2 n⌉` bound.
+pub fn max_possible_rank(n: usize) -> u32 {
+    if n == 0 {
+        return 0;
+    }
+    (usize::BITS - (n + 1).leading_zeros() - 1).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_is_rank_one() {
+        assert_eq!(compute_ranks(&[None]), vec![1]);
+    }
+
+    #[test]
+    fn path_is_all_rank_one() {
+        // 0 <- 1 <- 2 <- 3
+        let parents = [None, Some(0), Some(1), Some(2)];
+        assert_eq!(compute_ranks(&parents), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn star_center_gets_rank_two() {
+        let parents = [None, Some(0), Some(0), Some(0)];
+        assert_eq!(compute_ranks(&parents), vec![2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn perfect_binary_tree_rank_grows() {
+        // 7-node perfect binary tree: root 0, children 1,2; grandchildren 3..7.
+        let parents = [None, Some(0), Some(0), Some(1), Some(1), Some(2), Some(2)];
+        let ranks = compute_ranks(&parents);
+        assert_eq!(ranks[3..], [1, 1, 1, 1]);
+        assert_eq!(ranks[1], 2);
+        assert_eq!(ranks[2], 2);
+        assert_eq!(ranks[0], 3);
+    }
+
+    #[test]
+    fn unique_max_propagates_without_increment() {
+        // root 0 with children: a rank-2 subtree (1 with leaves 3,4) and leaf 2.
+        let parents = [None, Some(0), Some(0), Some(1), Some(1)];
+        let ranks = compute_ranks(&parents);
+        assert_eq!(ranks[1], 2);
+        assert_eq!(ranks[2], 1);
+        assert_eq!(ranks[0], 2); // unique max child rank 2 -> rank 2
+    }
+
+    #[test]
+    fn forest_ranks_each_tree() {
+        let parents = [None, Some(0), None, Some(2), Some(2)];
+        let ranks = compute_ranks(&parents);
+        assert_eq!(ranks, vec![1, 1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn rank_bound_holds_on_caterpillar() {
+        // Spine of 5, each with 2 leaves: ranks stay small.
+        let mut parents = vec![None];
+        for s in 1..5 {
+            parents.push(Some(s as u32 - 1));
+        }
+        for s in 0..5u32 {
+            parents.push(Some(s));
+            parents.push(Some(s));
+        }
+        let ranks = compute_ranks(&parents);
+        let max = *ranks.iter().max().unwrap();
+        assert!(max <= max_possible_rank(parents.len()));
+    }
+
+    #[test]
+    fn max_possible_rank_values() {
+        assert_eq!(max_possible_rank(1), 1);
+        assert_eq!(max_possible_rank(2), 1);
+        assert_eq!(max_possible_rank(3), 2);
+        assert_eq!(max_possible_rank(6), 2);
+        assert_eq!(max_possible_rank(7), 3);
+        assert_eq!(max_possible_rank(14), 3);
+        assert_eq!(max_possible_rank(15), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_detected() {
+        let parents = [Some(1), Some(0)];
+        let _ = compute_ranks(&parents);
+    }
+}

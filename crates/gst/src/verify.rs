@@ -1,0 +1,377 @@
+//! The GST verifier: the test oracle every construction is checked against.
+//!
+//! [`verify_gst`] checks, for a candidate [`Gst`] over a graph:
+//!
+//! 1. **Spanning**: every node reachable from the root set has a parent (or is
+//!    a root);
+//! 2. **BFS**: `level(v)` equals the hop distance from the root set, and every
+//!    parent is a graph neighbor one level up;
+//! 3. **Ranking rule**: ranks follow the inductive rule of Section 2.1;
+//! 4. **Collision-freeness** (the paper's defining property): the edges
+//!    between same-rank children and their same-rank parents form an induced
+//!    matching between consecutive levels;
+//! 5. **Stretch reception** (operational strengthening, see the crate docs):
+//!    an in-stretch node must not have a *second* fast-transmitting same-rank
+//!    neighbor on the previous level, otherwise the wave pipelining of
+//!    Proposition 3.6 would collide.
+
+use crate::ranking::compute_ranks;
+use crate::tree::Gst;
+use radio_sim::graph::Traversal;
+use radio_sim::{Graph, NodeId};
+use std::fmt;
+
+/// A violation found by [`verify_gst`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GstViolation {
+    /// A reachable node has no parent and is not a root.
+    NotSpanning {
+        /// The orphaned node.
+        node: NodeId,
+    },
+    /// A node declares itself a root without being in the intended root set.
+    UnexpectedRoot {
+        /// The self-declared root.
+        node: NodeId,
+    },
+    /// `level(v)` is not the BFS distance from the root set.
+    WrongLevel {
+        /// The offending node.
+        node: NodeId,
+        /// The label the tree carries.
+        labelled: u32,
+        /// The true BFS distance.
+        actual: u32,
+    },
+    /// A parent that is not a graph neighbor.
+    ParentNotNeighbor {
+        /// The child.
+        node: NodeId,
+        /// Its claimed parent.
+        parent: NodeId,
+    },
+    /// A rank that differs from the inductive ranking rule.
+    WrongRank {
+        /// The offending node.
+        node: NodeId,
+        /// The label the tree carries.
+        labelled: u32,
+        /// The rank the rule derives.
+        actual: u32,
+    },
+    /// Two same-rank parent edges that are not independent: `child2` is
+    /// adjacent to `parent1` (all four nodes sharing one rank).
+    CollisionFreeness {
+        /// First matched child.
+        child1: NodeId,
+        /// First matched parent.
+        parent1: NodeId,
+        /// Second matched child, adjacent to `parent1`.
+        child2: NodeId,
+        /// Second matched parent.
+        parent2: NodeId,
+    },
+    /// An in-stretch node with a second same-rank fast-transmitting neighbor
+    /// one level up: its stretch reception would collide.
+    StretchReception {
+        /// The listening in-stretch node.
+        node: NodeId,
+        /// Its in-stretch parent.
+        parent: NodeId,
+        /// The interfering fast transmitter.
+        interferer: NodeId,
+    },
+}
+
+impl fmt::Display for GstViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GstViolation::NotSpanning { node } => write!(f, "{node} is reachable but orphaned"),
+            GstViolation::UnexpectedRoot { node } => {
+                write!(f, "{node} declares itself a root but is not in the root set")
+            }
+            GstViolation::WrongLevel { node, labelled, actual } => {
+                write!(f, "{node} labelled level {labelled} but BFS distance is {actual}")
+            }
+            GstViolation::ParentNotNeighbor { node, parent } => {
+                write!(f, "{node} claims non-neighbor parent {parent}")
+            }
+            GstViolation::WrongRank { node, labelled, actual } => {
+                write!(f, "{node} labelled rank {labelled} but rule derives {actual}")
+            }
+            GstViolation::CollisionFreeness { child1, parent1, child2, parent2 } => write!(
+                f,
+                "induced matching violated: ({child1}->{parent1}) and ({child2}->{parent2}) \
+                 with {child2} adjacent to {parent1}"
+            ),
+            GstViolation::StretchReception { node, parent, interferer } => write!(
+                f,
+                "{node} receives its stretch wave from {parent} but {interferer} also \
+                 fast-transmits next to it"
+            ),
+        }
+    }
+}
+
+/// Checks `gst` against `graph` with the intended root set `roots`,
+/// returning all violations found (empty means the tree is a valid GST).
+///
+/// # Panics
+///
+/// Panics if `gst.node_count() != graph.node_count()` or `roots` is empty.
+pub fn verify_gst(graph: &Graph, gst: &Gst, roots: &[NodeId]) -> Vec<GstViolation> {
+    assert_eq!(graph.node_count(), gst.node_count(), "graph/tree size mismatch");
+    assert!(!roots.is_empty(), "root set must be non-empty");
+    let mut violations = Vec::new();
+    let n = graph.node_count();
+    let root_set = {
+        let mut v = vec![false; n];
+        for r in roots {
+            v[r.index()] = true;
+        }
+        v
+    };
+    for v in gst.roots() {
+        if !root_set[v.index()] {
+            violations.push(GstViolation::UnexpectedRoot { node: v });
+        }
+    }
+
+    // 1 & 2: spanning + BFS levels + parent adjacency.
+    let layering = graph.bfs_multi(roots);
+    for v in graph.node_ids() {
+        if !layering.is_reachable(v) {
+            continue; // unreachable nodes are outside the tree's scope
+        }
+        let actual = layering.level(v);
+        if gst.level(v) != actual {
+            violations.push(GstViolation::WrongLevel { node: v, labelled: gst.level(v), actual });
+        }
+        match gst.parent(v) {
+            None => {
+                if actual != 0 {
+                    violations.push(GstViolation::NotSpanning { node: v });
+                }
+            }
+            Some(p) => {
+                if !graph.has_edge(v, p) {
+                    violations.push(GstViolation::ParentNotNeighbor { node: v, parent: p });
+                }
+            }
+        }
+    }
+
+    // 3: the ranking rule.
+    let derived = compute_ranks(gst.parents());
+    for v in graph.node_ids() {
+        if layering.is_reachable(v) && gst.rank(v) != derived[v.index()] {
+            violations.push(GstViolation::WrongRank {
+                node: v,
+                labelled: gst.rank(v),
+                actual: derived[v.index()],
+            });
+        }
+    }
+
+    // 4: collision-freeness (induced matching of same-rank parent edges).
+    // M = { (u, parent(u)) : rank(u) == rank(parent(u)) }. For u in M with
+    // parent v, no *other* matched child u2 (same rank, same level) may be
+    // adjacent to v.
+    for v in graph.node_ids() {
+        let Some(p) = gst.parent(v) else { continue };
+        if gst.rank(v) != gst.rank(p) {
+            continue;
+        }
+        // v is matched to p at rank r. Look for matched children adjacent to p.
+        let r = gst.rank(v);
+        for &u2 in graph.neighbors(p) {
+            if u2 == v || gst.rank(u2) != r || gst.level(u2) != gst.level(v) {
+                continue;
+            }
+            let Some(p2) = gst.parent(u2) else { continue };
+            if p2 != p && gst.rank(p2) == r {
+                violations.push(GstViolation::CollisionFreeness {
+                    child1: v,
+                    parent1: p,
+                    child2: u2,
+                    parent2: p2,
+                });
+            }
+        }
+    }
+
+    // 5: stretch reception. For every in-stretch listener v with parent p,
+    // no other fast transmitter of the same rank may sit one level up.
+    for v in graph.node_ids() {
+        let Some(p) = gst.parent(v) else { continue };
+        if gst.rank(v) != gst.rank(p) {
+            continue;
+        }
+        for &w in graph.neighbors(v) {
+            if w != p
+                && gst.level(w) + 1 == gst.level(v)
+                && gst.rank(w) == gst.rank(v)
+                && gst.is_fast_transmitter(w)
+            {
+                violations.push(GstViolation::StretchReception {
+                    node: v,
+                    parent: p,
+                    interferer: w,
+                });
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Gst;
+    use radio_sim::graph::generators;
+
+    fn path_gst(n: usize) -> (Graph, Gst) {
+        let g = generators::path(n);
+        let level: Vec<u32> = (0..n as u32).collect();
+        let parent: Vec<Option<u32>> = (0..n as u32).map(|v| v.checked_sub(1)).collect();
+        let rank = compute_ranks(&parent);
+        let gst = Gst::new(level, rank, parent).unwrap();
+        (g, gst)
+    }
+
+    #[test]
+    fn valid_path_gst_passes() {
+        let (g, gst) = path_gst(8);
+        assert!(verify_gst(&g, &gst, &[NodeId::new(0)]).is_empty());
+    }
+
+    #[test]
+    fn star_gst_passes() {
+        let g = generators::star(6);
+        let level = vec![0, 1, 1, 1, 1, 1];
+        let parent = vec![None, Some(0), Some(0), Some(0), Some(0), Some(0)];
+        let rank = compute_ranks(&parent);
+        let gst = Gst::new(level, rank, parent).unwrap();
+        assert!(verify_gst(&g, &gst, &[NodeId::new(0)]).is_empty());
+    }
+
+    #[test]
+    fn wrong_level_flagged() {
+        let g = generators::path(4);
+        // Claim node 3 is at level 2 via parent 1 (not its neighbor).
+        let level = vec![0, 1, 2, 2];
+        let parent = vec![None, Some(0), Some(1), Some(1)];
+        let rank = compute_ranks(&parent);
+        let gst = Gst::new(level, rank, parent).unwrap();
+        let violations = verify_gst(&g, &gst, &[NodeId::new(0)]);
+        assert!(violations.iter().any(|v| matches!(v, GstViolation::WrongLevel { .. })));
+        assert!(violations.iter().any(|v| matches!(v, GstViolation::ParentNotNeighbor { .. })));
+    }
+
+    #[test]
+    fn wrong_rank_flagged() {
+        let (g, gst) = path_gst(4);
+        // Tamper: bump node 2's rank.
+        let mut rank = gst.ranks().to_vec();
+        rank[2] = 2;
+        let bad = Gst::new(gst.levels().to_vec(), rank, gst.parents().to_vec()).unwrap();
+        let violations = verify_gst(&g, &bad, &[NodeId::new(0)]);
+        assert!(violations.iter().any(|v| matches!(v, GstViolation::WrongRank { .. })));
+    }
+
+    #[test]
+    fn orphan_flagged() {
+        let g = generators::path(3);
+        // Node 2 pretends to be a root (level 0 with no parent) — BFS says 2.
+        let level = vec![0, 1, 0];
+        let parent = vec![None, Some(0), None];
+        let rank = compute_ranks(&parent);
+        let gst = Gst::new(level, rank, parent).unwrap();
+        let violations = verify_gst(&g, &gst, &[NodeId::new(0)]);
+        assert!(violations.iter().any(|v| matches!(v, GstViolation::NotSpanning { .. })));
+    }
+
+    #[test]
+    fn collision_freeness_violation_flagged() {
+        // C4 with a chord layout:
+        //   s(0) - a(1), s - b(2); a - x(3), b - x ; plus a second child y(4) of a
+        //   and z(5) of b to force ranks.
+        // Build a tree where a and b both have rank 1 via single rank-1 children
+        // on level 2, and x (child of a, rank 1) is adjacent to b (rank 1).
+        let g = Graph::from_edges(
+            4,
+            [
+                (0, 1), // s-a
+                (0, 2), // s-b
+                (1, 3), // a-x
+                (2, 3), // b-x
+            ],
+        )
+        .unwrap();
+        // Tree: x child of a. Then a rank 1 (one rank-1 child), b leaf rank 1.
+        // x (rank 1, level 2) is adjacent to b (rank 1, level 1) — but b has no
+        // matched child, so the induced matching is fine; b is not a fast
+        // transmitter (no child), so stretch reception is fine too.
+        let level = vec![0, 1, 1, 2];
+        let parent = vec![None, Some(0), Some(0), Some(1)];
+        let rank = compute_ranks(&parent);
+        let gst = Gst::new(level, rank, parent).unwrap();
+        assert!(verify_gst(&g, &gst, &[NodeId::new(0)]).is_empty());
+
+        // Now extend: give b a matched rank-1 child x2 adjacent to a.
+        let g = Graph::from_edges(
+            6,
+            [
+                (0, 1), // s-a
+                (0, 2), // s-b
+                (1, 3), // a-x
+                (2, 3), // b-x   (x adjacent to the other parent)
+                (2, 4), // b-x2
+                (1, 5), // a-aux neighbor (unused)
+            ],
+        )
+        .unwrap();
+        let level = vec![0, 1, 1, 2, 2, 2];
+        let parent = vec![None, Some(0), Some(0), Some(1), Some(2), Some(1)];
+        let rank = compute_ranks(&parent);
+        // a has two rank-1 children (3 and 5) -> rank 2; that breaks the
+        // scenario, so drop node 5's edge into the tree by making it b's child?
+        // Instead: attach 5 under node 3 won't keep levels. Simplest: remove
+        // node 5 from the tree by making the graph smaller.
+        let _ = (level, parent, rank);
+        let g2 = Graph::from_edges(
+            5,
+            [
+                (0, 1), // s-a
+                (0, 2), // s-b
+                (1, 3), // a-x
+                (2, 3), // b-x
+                (2, 4), // b-x2
+            ],
+        )
+        .unwrap();
+        let level = vec![0, 1, 1, 2, 2];
+        let parent = vec![None, Some(0), Some(0), Some(1), Some(2)];
+        let rank = compute_ranks(&parent);
+        // ranks: x,x2 leaves =1; a has one rank-1 child -> 1; b has one -> 1;
+        // s has two rank-1 children -> 2.
+        let gst = Gst::new(level, rank, parent).unwrap();
+        let violations = verify_gst(&g2, &gst, &[NodeId::new(0)]);
+        assert!(
+            violations.iter().any(|v| matches!(v, GstViolation::CollisionFreeness { .. })),
+            "expected collision-freeness violation, got {violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| matches!(v, GstViolation::StretchReception { .. })),
+            "expected stretch-reception violation, got {violations:?}"
+        );
+        let _ = g;
+    }
+
+    #[test]
+    fn violation_display_nonempty() {
+        let v = GstViolation::NotSpanning { node: NodeId::new(2) };
+        assert!(v.to_string().contains("v2"));
+    }
+}

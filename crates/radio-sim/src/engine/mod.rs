@@ -1,0 +1,440 @@
+//! The synchronous round engine.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::model::{Action, CollisionMode, Observation};
+use crate::rng;
+use crate::trace::{RoundStats, RunStats};
+use rand::rngs::SmallRng;
+use std::fmt;
+
+/// A per-node protocol state machine.
+///
+/// The engine calls [`Protocol::act`] on every node at the start of each
+/// round, resolves the radio channel, then calls [`Protocol::observe`] on
+/// every node with the outcome. Both calls receive the node's private RNG
+/// stream, so runs are deterministic in the master seed.
+///
+/// A node knows only what a real radio node would: its own state, its id (if
+/// the implementation stores it at construction), and the observations it has
+/// made. The engine never leaks topology through this trait.
+pub trait Protocol {
+    /// Packet type carried on the channel.
+    type Msg: Clone;
+
+    /// Chooses this node's action for `round` (0-based).
+    fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<Self::Msg>;
+
+    /// Delivers the channel observation for `round`.
+    fn observe(&mut self, round: u64, obs: Observation<Self::Msg>, rng: &mut SmallRng);
+}
+
+/// A per-round audit callback: receives the round number and the list of
+/// `(transmitter, packet)` pairs, before channel resolution.
+///
+/// Used by experiments that must attribute collisions to schedule phases
+/// (e.g. the Lemma 3.5 fast-transmission collision audit).
+pub type Probe<M> = Box<dyn FnMut(u64, &[(NodeId, M)])>;
+
+/// Deterministic synchronous simulator of the radio network model.
+///
+/// See the [crate docs](crate) for the model and a complete example.
+pub struct Simulator<P: Protocol> {
+    graph: Graph,
+    mode: CollisionMode,
+    nodes: Vec<P>,
+    rngs: Vec<SmallRng>,
+    round: u64,
+    stats: RunStats,
+    probe: Option<Probe<P::Msg>>,
+    // Scratch buffers, kept across rounds to avoid per-round allocation.
+    tx_count: Vec<u32>,
+    tx_from: Vec<u32>,
+    transmitted: Vec<bool>,
+    txs: Vec<(NodeId, P::Msg)>,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Creates a simulator over `graph` with the given collision mode and
+    /// master seed; `init` constructs each node's protocol state.
+    pub fn new(
+        graph: Graph,
+        mode: CollisionMode,
+        master_seed: u64,
+        mut init: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        let n = graph.node_count();
+        let nodes: Vec<P> = (0..n).map(|i| init(NodeId::new(i))).collect();
+        let rngs: Vec<SmallRng> = (0..n).map(|i| rng::stream_rng(master_seed, i as u64)).collect();
+        Simulator {
+            graph,
+            mode,
+            nodes,
+            rngs,
+            round: 0,
+            stats: RunStats::default(),
+            probe: None,
+            tx_count: vec![0; n],
+            tx_from: vec![0; n],
+            transmitted: vec![false; n],
+            txs: Vec::new(),
+        }
+    }
+
+    /// Installs a per-round audit probe (replacing any previous one).
+    pub fn set_probe(&mut self, probe: Probe<P::Msg>) {
+        self.probe = Some(probe);
+    }
+
+    /// Simulates one round; returns its statistics.
+    pub fn step(&mut self) -> RoundStats {
+        let round = self.round;
+        let n = self.nodes.len();
+
+        self.txs.clear();
+        for i in 0..n {
+            self.transmitted[i] = false;
+            match self.nodes[i].act(round, &mut self.rngs[i]) {
+                Action::Transmit(m) => {
+                    self.transmitted[i] = true;
+                    self.txs.push((NodeId::new(i), m));
+                }
+                Action::Listen => {}
+            }
+        }
+
+        if let Some(probe) = &mut self.probe {
+            probe(round, &self.txs);
+        }
+
+        // Resolve the channel: count transmitting neighbors per node.
+        for (t_idx, (sender, _)) in self.txs.iter().enumerate() {
+            for &v in self.graph.neighbors(*sender) {
+                self.tx_count[v.index()] += 1;
+                self.tx_from[v.index()] = t_idx as u32;
+            }
+        }
+
+        let mut rstats = RoundStats { transmitters: self.txs.len(), ..RoundStats::default() };
+
+        for i in 0..n {
+            let obs = if self.transmitted[i] {
+                Observation::SelfTransmit
+            } else {
+                match self.tx_count[i] {
+                    0 => {
+                        rstats.silent += 1;
+                        Observation::Silence
+                    }
+                    1 => {
+                        rstats.deliveries += 1;
+                        Observation::Message(self.txs[self.tx_from[i] as usize].1.clone())
+                    }
+                    _ => {
+                        rstats.collisions += 1;
+                        if self.mode.has_detection() {
+                            Observation::Collision
+                        } else {
+                            Observation::Silence
+                        }
+                    }
+                }
+            };
+            self.nodes[i].observe(round, obs, &mut self.rngs[i]);
+        }
+
+        // Sparse reset of the counters touched this round.
+        for (sender, _) in &self.txs {
+            for &v in self.graph.neighbors(*sender) {
+                self.tx_count[v.index()] = 0;
+            }
+        }
+
+        self.round += 1;
+        self.stats.absorb(rstats);
+        rstats
+    }
+
+    /// Simulates `rounds` rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Runs until `done` holds (checked after every round) or `max_rounds`
+    /// rounds have elapsed *in this call*.
+    ///
+    /// Returns the total round count (i.e. [`Simulator::round`]) at which the
+    /// predicate first held, or `None` on timeout.
+    pub fn run_until(
+        &mut self,
+        max_rounds: u64,
+        mut done: impl FnMut(&[P]) -> bool,
+    ) -> Option<u64> {
+        if done(&self.nodes) {
+            return Some(self.round);
+        }
+        for _ in 0..max_rounds {
+            self.step();
+            if done(&self.nodes) {
+                return Some(self.round);
+            }
+        }
+        None
+    }
+
+    /// The simulated graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The collision-detection mode.
+    pub fn mode(&self) -> CollisionMode {
+        self.mode
+    }
+
+    /// Number of rounds simulated so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// All node states, indexed by node id.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// The state of node `v`.
+    pub fn node(&self, v: NodeId) -> &P {
+        &self.nodes[v.index()]
+    }
+
+    /// Mutable access to node `v` — for injecting work mid-run (e.g. handing
+    /// a new message batch to the source).
+    pub fn node_mut(&mut self, v: NodeId) -> &mut P {
+        &mut self.nodes[v.index()]
+    }
+
+    /// Consumes the simulator, returning the node states.
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes
+    }
+}
+
+impl<P: Protocol + fmt::Debug> fmt::Debug for Simulator<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("graph", &self.graph)
+            .field("mode", &self.mode)
+            .field("round", &self.round)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::generators;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Transmits `payload` every round if `active`; records observations.
+    #[derive(Debug)]
+    struct Beacon {
+        active: bool,
+        payload: u32,
+        seen: Vec<Observation<u32>>,
+    }
+
+    impl Beacon {
+        fn new(active: bool, payload: u32) -> Self {
+            Beacon { active, payload, seen: Vec::new() }
+        }
+    }
+
+    impl Protocol for Beacon {
+        type Msg = u32;
+        fn act(&mut self, _round: u64, _rng: &mut SmallRng) -> Action<u32> {
+            if self.active {
+                Action::Transmit(self.payload)
+            } else {
+                Action::Listen
+            }
+        }
+        fn observe(&mut self, _round: u64, obs: Observation<u32>, _rng: &mut SmallRng) {
+            self.seen.push(obs);
+        }
+    }
+
+    #[test]
+    fn single_transmitter_delivers() {
+        let g = generators::path(3);
+        let mut sim =
+            Simulator::new(g, CollisionMode::Detection, 0, |id| Beacon::new(id.index() == 0, 7));
+        let stats = sim.step();
+        assert_eq!(stats.transmitters, 1);
+        assert_eq!(stats.deliveries, 1);
+        assert_eq!(sim.node(NodeId::new(1)).seen, vec![Observation::Message(7)]);
+        assert_eq!(sim.node(NodeId::new(2)).seen, vec![Observation::Silence]);
+        assert_eq!(sim.node(NodeId::new(0)).seen, vec![Observation::SelfTransmit]);
+    }
+
+    #[test]
+    fn two_transmitters_collide_with_detection() {
+        // path 0-1-2: 0 and 2 transmit, 1 hears a collision.
+        let g = generators::path(3);
+        let mut sim =
+            Simulator::new(g, CollisionMode::Detection, 0, |id| Beacon::new(id.index() != 1, 9));
+        let stats = sim.step();
+        assert_eq!(stats.collisions, 1);
+        assert_eq!(sim.node(NodeId::new(1)).seen, vec![Observation::Collision]);
+    }
+
+    #[test]
+    fn collision_without_detection_is_silence() {
+        let g = generators::path(3);
+        let mut sim =
+            Simulator::new(g, CollisionMode::NoDetection, 0, |id| Beacon::new(id.index() != 1, 9));
+        let stats = sim.step();
+        // The channel still collided (stats see it) but the node observes silence.
+        assert_eq!(stats.collisions, 1);
+        assert_eq!(sim.node(NodeId::new(1)).seen, vec![Observation::Silence]);
+    }
+
+    #[test]
+    fn transmission_is_not_received_by_non_neighbors() {
+        let g = generators::path(4);
+        let mut sim =
+            Simulator::new(g, CollisionMode::Detection, 0, |id| Beacon::new(id.index() == 0, 1));
+        sim.step();
+        assert_eq!(sim.node(NodeId::new(2)).seen, vec![Observation::Silence]);
+        assert_eq!(sim.node(NodeId::new(3)).seen, vec![Observation::Silence]);
+    }
+
+    #[test]
+    fn transmitter_does_not_hear_neighbor() {
+        // Both endpoints of an edge transmit: each observes only SelfTransmit.
+        let g = generators::path(2);
+        let mut sim = Simulator::new(g, CollisionMode::Detection, 0, |_| Beacon::new(true, 3));
+        sim.step();
+        for v in 0..2 {
+            assert_eq!(sim.node(NodeId::new(v)).seen, vec![Observation::SelfTransmit]);
+        }
+    }
+
+    #[test]
+    fn run_until_detects_completion() {
+        let g = generators::path(2);
+        let mut sim =
+            Simulator::new(g, CollisionMode::Detection, 0, |id| Beacon::new(id.index() == 0, 5));
+        let done = sim.run_until(10, |nodes| {
+            nodes.iter().any(|n| n.seen.iter().any(|o| o.is_message()))
+        });
+        assert_eq!(done, Some(1));
+    }
+
+    #[test]
+    fn run_until_immediate_if_already_done() {
+        let g = generators::path(2);
+        let mut sim = Simulator::new(g, CollisionMode::Detection, 0, |_| Beacon::new(false, 0));
+        assert_eq!(sim.run_until(10, |_| true), Some(0));
+    }
+
+    #[test]
+    fn run_until_times_out() {
+        let g = generators::path(2);
+        let mut sim = Simulator::new(g, CollisionMode::Detection, 0, |_| Beacon::new(false, 0));
+        assert_eq!(sim.run_until(5, |_| false), None);
+        assert_eq!(sim.round(), 5);
+    }
+
+    #[test]
+    fn stats_accumulate_across_rounds() {
+        let g = generators::star(5);
+        let mut sim =
+            Simulator::new(g, CollisionMode::Detection, 0, |id| Beacon::new(id.index() == 0, 2));
+        sim.run(3);
+        assert_eq!(sim.stats().rounds, 3);
+        assert_eq!(sim.stats().transmissions, 3);
+        assert_eq!(sim.stats().deliveries, 3 * 4);
+    }
+
+    #[test]
+    fn probe_sees_transmitters() {
+        let g = generators::path(3);
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        let mut sim =
+            Simulator::new(g, CollisionMode::Detection, 0, |id| Beacon::new(id.index() == 0, 7));
+        sim.set_probe(Box::new(move |_round, txs| {
+            c2.fetch_add(txs.len(), Ordering::SeqCst);
+        }));
+        sim.run(4);
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    /// A protocol whose behaviour depends on its RNG, to check determinism.
+    #[derive(Debug)]
+    struct Rando {
+        history: Vec<bool>,
+    }
+    impl Protocol for Rando {
+        type Msg = u8;
+        fn act(&mut self, _round: u64, rng: &mut SmallRng) -> Action<u8> {
+            use rand::Rng;
+            let t = rng.gen_bool(0.5);
+            self.history.push(t);
+            if t {
+                Action::Transmit(0)
+            } else {
+                Action::Listen
+            }
+        }
+        fn observe(&mut self, _r: u64, _o: Observation<u8>, _rng: &mut SmallRng) {}
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let run = |seed| {
+            let g = generators::cycle(8);
+            let mut sim =
+                Simulator::new(g, CollisionMode::Detection, seed, |_| Rando { history: vec![] });
+            sim.run(50);
+            sim.into_nodes().into_iter().map(|n| n.history).collect::<Vec<_>>()
+        };
+        assert_eq!(run(123), run(123));
+        assert_ne!(run(123), run(124));
+    }
+
+    #[test]
+    fn sparse_reset_leaves_no_residue() {
+        // Alternate transmitting/silent rounds; silent rounds must see clean
+        // counters (all Silence, no stale deliveries).
+        #[derive(Debug)]
+        struct EvenTx;
+        impl Protocol for EvenTx {
+            type Msg = u8;
+            fn act(&mut self, round: u64, _rng: &mut SmallRng) -> Action<u8> {
+                if round % 2 == 0 {
+                    Action::Transmit(1)
+                } else {
+                    Action::Listen
+                }
+            }
+            fn observe(&mut self, round: u64, obs: Observation<u8>, _rng: &mut SmallRng) {
+                if round % 2 == 1 {
+                    assert_eq!(obs, Observation::Silence, "stale counter at round {round}");
+                }
+            }
+        }
+        let g = generators::complete(6);
+        let mut sim = Simulator::new(g, CollisionMode::Detection, 0, |_| EvenTx);
+        sim.run(10);
+    }
+}

@@ -1,0 +1,181 @@
+//! Incremental, validating graph construction.
+
+use super::Graph;
+use crate::ids::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building a [`Graph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge `{v, v}` was added.
+    SelfLoop {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// An edge endpoint is not a node of the graph.
+    NodeOutOfBounds {
+        /// The offending endpoint.
+        node: NodeId,
+        /// The number of nodes in the graph under construction.
+        node_count: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop { node } => write!(f, "self-loop at {node}"),
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node} out of bounds for graph with {node_count} nodes")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// Builds a [`Graph`] from edges added one at a time.
+///
+/// Duplicate edges are merged; self-loops and out-of-range endpoints are
+/// rejected eagerly.
+///
+/// ```
+/// use radio_sim::graph::GraphBuilder;
+/// use radio_sim::NodeId;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId::new(0), NodeId::new(1))?;
+/// b.add_edge(NodeId::new(1), NodeId::new(2))?;
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), radio_sim::graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Number of nodes of the graph under construction.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SelfLoop`] if `u == v`; [`GraphError::NodeOutOfBounds`]
+    /// if either endpoint is `>= n`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self, GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        for e in [u, v] {
+            if e.index() >= self.n {
+                return Err(GraphError::NodeOutOfBounds { node: e, node_count: self.n });
+            }
+        }
+        self.edges.push((u.min(v), u.max(v)));
+        Ok(self)
+    }
+
+    /// Adds `{u, v}` given raw indices. Convenience for generators.
+    pub fn add_edge_raw(&mut self, u: usize, v: usize) -> Result<&mut Self, GraphError> {
+        self.add_edge(NodeId::new(u), NodeId::new(v))
+    }
+
+    /// Finalizes the CSR representation (sorting and deduplicating edges).
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let mut degree = vec![0u32; self.n];
+        for &(u, v) in &self.edges {
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        let mut cursor: Vec<u32> = offsets[..self.n].to_vec();
+        let mut adj = vec![NodeId(0); acc as usize];
+        for &(u, v) in &self.edges {
+            adj[cursor[u.index()] as usize] = v;
+            cursor[u.index()] += 1;
+            adj[cursor[v.index()] as usize] = u;
+            cursor[v.index()] += 1;
+        }
+        // Each node's slice is filled in increasing order of the *other*
+        // endpoint for the `u` side, but the `v` side interleaves; sort each
+        // slice so `neighbors()` is always sorted (binary-searchable).
+        for v in 0..self.n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            adj[lo..hi].sort_unstable();
+        }
+
+        Graph::from_parts(offsets, adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge_raw(0, 1).unwrap().add_edge_raw(1, 2).unwrap();
+        assert_eq!(b.node_count(), 4);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut b = GraphBuilder::new(5);
+        for v in [4usize, 2, 3, 1] {
+            b.add_edge_raw(0, v).unwrap();
+        }
+        let g = b.build();
+        let nb: Vec<u32> = g.neighbors(NodeId(0)).iter().map(|v| v.raw()).collect();
+        assert_eq!(nb, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn zero_node_graph_builds() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = GraphError::SelfLoop { node: NodeId(3) };
+        assert_eq!(e.to_string(), "self-loop at v3");
+        let e = GraphError::NodeOutOfBounds { node: NodeId(9), node_count: 4 };
+        assert!(e.to_string().contains("out of bounds"));
+    }
+}

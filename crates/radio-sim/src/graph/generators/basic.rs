@@ -1,0 +1,218 @@
+//! Deterministic graph families.
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// Path `v0 - v1 - … - v(n-1)`. Diameter `n - 1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 1, "path requires at least one node");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n.saturating_sub(1) {
+        b.add_edge_raw(i, i + 1).expect("valid path edge");
+    }
+    b.build()
+}
+
+/// Cycle on `n >= 3` nodes. Diameter `⌊n/2⌋`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle requires at least three nodes");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge_raw(i, (i + 1) % n).expect("valid cycle edge");
+    }
+    b.build()
+}
+
+/// Star: node 0 is the hub, nodes `1..n` are leaves. Diameter 2.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star requires at least two nodes");
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge_raw(0, i).expect("valid star edge");
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`. Diameter 1.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n >= 2, "complete graph requires at least two nodes");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge_raw(i, j).expect("valid clique edge");
+        }
+    }
+    b.build()
+}
+
+/// `w × h` grid. Node `(x, y)` has index `y * w + x`. Diameter `w + h - 2`.
+///
+/// # Panics
+///
+/// Panics if `w == 0 || h == 0`.
+pub fn grid(w: usize, h: usize) -> Graph {
+    assert!(w >= 1 && h >= 1, "grid requires positive dimensions");
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            if x + 1 < w {
+                b.add_edge_raw(v, v + 1).expect("valid grid edge");
+            }
+            if y + 1 < h {
+                b.add_edge_raw(v, v + w).expect("valid grid edge");
+            }
+        }
+    }
+    b.build()
+}
+
+/// `w × h` torus (grid with wraparound). Requires `w >= 3 && h >= 3`.
+///
+/// # Panics
+///
+/// Panics if `w < 3 || h < 3`.
+pub fn torus(w: usize, h: usize) -> Graph {
+    assert!(w >= 3 && h >= 3, "torus requires dimensions of at least 3");
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            let right = y * w + (x + 1) % w;
+            let down = ((y + 1) % h) * w + x;
+            b.add_edge_raw(v, right).expect("valid torus edge");
+            b.add_edge_raw(v, down).expect("valid torus edge");
+        }
+    }
+    b.build()
+}
+
+/// Hypercube of dimension `dim` (so `2^dim` nodes). Diameter `dim`.
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `dim >= 30`.
+pub fn hypercube(dim: u32) -> Graph {
+    assert!((1..30).contains(&dim), "hypercube dimension must be in 1..30");
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..dim {
+            let u = v ^ (1 << bit);
+            if u > v {
+                b.add_edge_raw(v, u).expect("valid hypercube edge");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Balanced binary tree with `n` nodes; node `i` has children `2i+1`, `2i+2`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn binary_tree(n: usize) -> Graph {
+    assert!(n >= 1, "binary tree requires at least one node");
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge_raw(i, (i - 1) / 2).expect("valid tree edge");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Traversal;
+    use crate::NodeId;
+
+    #[test]
+    fn path_shape() {
+        let g = path(10);
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 9);
+        assert_eq!(g.diameter(), Some(9));
+    }
+
+    #[test]
+    fn single_node_path() {
+        let g = path(1);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(8);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.diameter(), Some(4));
+        assert!(g.node_ids().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.degree(NodeId::new(0)), 5);
+        assert_eq!(g.diameter(), Some(2));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.diameter(), Some(1));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(4, 3);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 4 * 2 + 3 * 3); // vertical rows + horizontal cols
+        assert_eq!(g.diameter(), Some(5));
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let g = torus(4, 4);
+        assert!(g.node_ids().all(|v| g.degree(v) == 4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert!(g.node_ids().all(|v| g.degree(v) == 4));
+        assert_eq!(g.diameter(), Some(4));
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.diameter(), Some(4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle requires at least three nodes")]
+    fn tiny_cycle_panics() {
+        let _ = cycle(2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Per-round and per-run channel statistics.
+
+use std::fmt;
+
+/// Channel activity in a single round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Nodes that transmitted.
+    pub transmitters: usize,
+    /// Listeners that received a packet (exactly one transmitting neighbor).
+    pub deliveries: usize,
+    /// Listeners whose channel collided (two or more transmitting neighbors),
+    /// counted *before* the collision-detection mode maps the observation.
+    pub collisions: usize,
+    /// Listeners that heard silence.
+    pub silent: usize,
+}
+
+/// Aggregated statistics over a whole run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Rounds simulated so far.
+    pub rounds: u64,
+    /// Total transmissions.
+    pub transmissions: u64,
+    /// Total successful packet deliveries.
+    pub deliveries: u64,
+    /// Total collision observations (pre-mode mapping).
+    pub collisions: u64,
+}
+
+impl RunStats {
+    /// Folds one round's stats into the totals.
+    pub fn absorb(&mut self, r: RoundStats) {
+        self.rounds += 1;
+        self.transmissions += r.transmitters as u64;
+        self.deliveries += r.deliveries as u64;
+        self.collisions += r.collisions as u64;
+    }
+
+    /// Deliveries per transmission — a utilization figure of merit.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.transmissions == 0 {
+            return 0.0;
+        }
+        self.deliveries as f64 / self.transmissions as f64
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} tx, {} delivered, {} collisions (delivery ratio {:.3})",
+            self.rounds,
+            self.transmissions,
+            self.deliveries,
+            self.collisions,
+            self.delivery_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut run = RunStats::default();
+        run.absorb(RoundStats { transmitters: 3, deliveries: 2, collisions: 1, silent: 0 });
+        run.absorb(RoundStats { transmitters: 1, deliveries: 1, collisions: 0, silent: 4 });
+        assert_eq!(run.rounds, 2);
+        assert_eq!(run.transmissions, 4);
+        assert_eq!(run.deliveries, 3);
+        assert_eq!(run.collisions, 1);
+    }
+
+    #[test]
+    fn delivery_ratio_handles_zero() {
+        assert_eq!(RunStats::default().delivery_ratio(), 0.0);
+        let mut run = RunStats::default();
+        run.absorb(RoundStats { transmitters: 4, deliveries: 2, collisions: 0, silent: 0 });
+        assert!((run.delivery_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(RunStats::default().to_string().contains("rounds"));
+    }
+}

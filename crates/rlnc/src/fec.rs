@@ -1,0 +1,173 @@
+//! Forward error correction across ring boundaries (Section 3.4).
+//!
+//! When a batch of `k'` messages has reached the outer boundary of ring `j`,
+//! each boundary node emits `Θ(k')` *FEC packets* such that any receiver that
+//! collects `Θ(k')` of them — from any mix of senders — can decode the whole
+//! batch. A random-linear fountain over `F_2` has exactly this property: each
+//! FEC packet is a uniformly random combination of the batch, and `k' + c`
+//! random packets decode with probability `≥ 1 − 2^{-c}`.
+//!
+//! The paper notes FEC here is "a simplified form of network coding as there
+//! is no intermediate node": encoders hold the *whole* batch, receivers only
+//! collect and decode.
+
+use crate::gf2::BitVec;
+use crate::{CodedPacket, Decoder};
+use rand::Rng;
+use std::fmt;
+
+/// A fountain encoder over one fully-known batch of messages.
+#[derive(Clone)]
+pub struct FountainEncoder {
+    source: Decoder,
+}
+
+impl FountainEncoder {
+    /// Creates an encoder over `messages` (all the same bit length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `messages` is empty or lengths differ.
+    pub fn new(messages: &[BitVec]) -> Self {
+        assert!(!messages.is_empty(), "fountain needs at least one message");
+        FountainEncoder { source: Decoder::with_messages(messages) }
+    }
+
+    /// Number of messages in the batch.
+    pub fn k(&self) -> usize {
+        self.source.k()
+    }
+
+    /// Emits one fountain packet: a uniformly random nonzero combination.
+    pub fn emit(&self, rng: &mut impl Rng) -> CodedPacket {
+        self.source.random_combination(rng).expect("encoder holds at least one message")
+    }
+}
+
+impl fmt::Debug for FountainEncoder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FountainEncoder(k={})", self.k())
+    }
+}
+
+/// A fountain receiver: collects packets until the batch decodes.
+///
+/// This is a thin semantic wrapper over [`Decoder`]; it exists so call sites
+/// distinguish in-ring RLNC state from boundary FEC state.
+#[derive(Clone, Debug)]
+pub struct FountainDecoder {
+    inner: Decoder,
+    received: usize,
+}
+
+impl FountainDecoder {
+    /// A receiver for a batch of `k` messages of `payload_bits` each.
+    pub fn new(k: usize, payload_bits: usize) -> Self {
+        FountainDecoder { inner: Decoder::new(k, payload_bits), received: 0 }
+    }
+
+    /// Absorbs one received fountain packet; returns `true` if innovative.
+    pub fn absorb(&mut self, packet: CodedPacket) -> bool {
+        self.received += 1;
+        self.inner.insert(packet)
+    }
+
+    /// Packets received so far (innovative or not).
+    pub fn received(&self) -> usize {
+        self.received
+    }
+
+    /// Current rank.
+    pub fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    /// Whether the batch can be decoded.
+    pub fn is_complete(&self) -> bool {
+        self.inner.can_decode()
+    }
+
+    /// Decodes the batch, if complete.
+    pub fn decode(&self) -> Option<Vec<BitVec>> {
+        self.inner.decode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn batch(k: usize) -> Vec<BitVec> {
+        (0..k).map(|i| BitVec::from_u64(i as u64 * 3 + 1, 16)).collect()
+    }
+
+    #[test]
+    fn fountain_decodes_from_any_packets() {
+        let msgs = batch(8);
+        let enc = FountainEncoder::new(&msgs);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut dec = FountainDecoder::new(8, 16);
+        while !dec.is_complete() {
+            dec.absorb(enc.emit(&mut rng));
+            assert!(dec.received() < 200, "fountain failed to converge");
+        }
+        assert_eq!(dec.decode().unwrap(), msgs);
+    }
+
+    #[test]
+    fn fountain_overhead_is_small() {
+        // Measure packets needed over many trials: should be close to k
+        // (expected overhead < 2 packets for F2 fountains).
+        let msgs = batch(16);
+        let enc = FountainEncoder::new(&msgs);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let trials = 100;
+        let mut total = 0usize;
+        for _ in 0..trials {
+            let mut dec = FountainDecoder::new(16, 16);
+            while !dec.is_complete() {
+                dec.absorb(enc.emit(&mut rng));
+            }
+            total += dec.received();
+        }
+        let avg = total as f64 / trials as f64;
+        assert!(avg < 16.0 + 3.0, "average packets {avg}");
+    }
+
+    #[test]
+    fn multiple_encoders_mix() {
+        // Ring handoff: several boundary nodes encode the same batch; a
+        // receiver mixes packets from all of them.
+        let msgs = batch(6);
+        let encoders: Vec<FountainEncoder> =
+            (0..3).map(|_| FountainEncoder::new(&msgs)).collect();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut dec = FountainDecoder::new(6, 16);
+        let mut i = 0;
+        while !dec.is_complete() {
+            dec.absorb(encoders[i % 3].emit(&mut rng));
+            i += 1;
+            assert!(i < 200);
+        }
+        assert_eq!(dec.decode().unwrap(), msgs);
+    }
+
+    #[test]
+    fn single_message_fountain() {
+        let msgs = batch(1);
+        let enc = FountainEncoder::new(&msgs);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut dec = FountainDecoder::new(1, 16);
+        dec.absorb(enc.emit(&mut rng));
+        assert!(dec.is_complete());
+        assert_eq!(dec.decode().unwrap(), msgs);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one message")]
+    fn empty_batch_panics() {
+        let _ = FountainEncoder::new(&[]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Generation (batch) management for coefficient-overhead control.
+//!
+//! Coding all `k` messages together puts a `k`-bit coefficient vector in every
+//! packet, which can exceed the `B = Θ(log n)` packet budget. Section 3.4 of
+//! the paper fixes this by *generations*: messages are grouped into batches of
+//! `Θ(log n)` and coding happens only within a batch, so the coefficient
+//! overhead is `O(log n)` bits.
+//!
+//! [`GenerationPlan`] is the bookkeeping shared by every node: how many
+//! generations exist, which messages belong to which, and per-generation
+//! decoder construction.
+
+use crate::gf2::BitVec;
+use crate::Decoder;
+
+/// The static partition of `k` messages into generations of size at most `g`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenerationPlan {
+    total_messages: usize,
+    generation_size: usize,
+    payload_bits: usize,
+}
+
+impl GenerationPlan {
+    /// Plans generations of size `generation_size` over `total_messages`
+    /// messages of `payload_bits` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_messages == 0` or `generation_size == 0`.
+    pub fn new(total_messages: usize, generation_size: usize, payload_bits: usize) -> Self {
+        assert!(total_messages >= 1, "need at least one message");
+        assert!(generation_size >= 1, "generations must be non-empty");
+        GenerationPlan { total_messages, generation_size, payload_bits }
+    }
+
+    /// Total number of messages.
+    pub fn total_messages(&self) -> usize {
+        self.total_messages
+    }
+
+    /// Maximum messages per generation.
+    pub fn generation_size(&self) -> usize {
+        self.generation_size
+    }
+
+    /// Payload width in bits.
+    pub fn payload_bits(&self) -> usize {
+        self.payload_bits
+    }
+
+    /// Number of generations.
+    pub fn generation_count(&self) -> usize {
+        self.total_messages.div_ceil(self.generation_size)
+    }
+
+    /// Number of messages in generation `g` (the last may be short).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn len_of(&self, g: usize) -> usize {
+        assert!(g < self.generation_count(), "generation {g} out of range");
+        let start = g * self.generation_size;
+        (self.total_messages - start).min(self.generation_size)
+    }
+
+    /// The global message indices `start..end` of generation `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn range_of(&self, g: usize) -> std::ops::Range<usize> {
+        let start = g * self.generation_size;
+        start..start + self.len_of(g)
+    }
+
+    /// The generation containing global message index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= total_messages`.
+    pub fn generation_of(&self, i: usize) -> usize {
+        assert!(i < self.total_messages, "message {i} out of range");
+        i / self.generation_size
+    }
+
+    /// A fresh (empty) decoder for generation `g`.
+    pub fn decoder_for(&self, g: usize) -> Decoder {
+        Decoder::new(self.len_of(g), self.payload_bits)
+    }
+
+    /// The source's decoder for generation `g`, pre-loaded from the global
+    /// message list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `messages.len() != total_messages` or a message has the wrong
+    /// width.
+    pub fn source_decoder_for(&self, g: usize, messages: &[BitVec]) -> Decoder {
+        assert_eq!(messages.len(), self.total_messages, "message count mismatch");
+        Decoder::with_messages(&messages[self.range_of(g)])
+    }
+
+    /// Per-packet coefficient overhead in bits (= generation size).
+    pub fn coefficient_bits(&self) -> usize {
+        self.generation_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let p = GenerationPlan::new(12, 4, 8);
+        assert_eq!(p.generation_count(), 3);
+        for g in 0..3 {
+            assert_eq!(p.len_of(g), 4);
+        }
+        assert_eq!(p.range_of(1), 4..8);
+    }
+
+    #[test]
+    fn ragged_last_generation() {
+        let p = GenerationPlan::new(10, 4, 8);
+        assert_eq!(p.generation_count(), 3);
+        assert_eq!(p.len_of(2), 2);
+        assert_eq!(p.range_of(2), 8..10);
+    }
+
+    #[test]
+    fn generation_of_inverts_range_of() {
+        let p = GenerationPlan::new(10, 3, 8);
+        for i in 0..10 {
+            let g = p.generation_of(i);
+            assert!(p.range_of(g).contains(&i));
+        }
+    }
+
+    #[test]
+    fn single_generation_when_size_exceeds_total() {
+        let p = GenerationPlan::new(5, 100, 8);
+        assert_eq!(p.generation_count(), 1);
+        assert_eq!(p.len_of(0), 5);
+    }
+
+    #[test]
+    fn decoders_have_matching_dimensions() {
+        let p = GenerationPlan::new(10, 4, 16);
+        let d = p.decoder_for(2);
+        assert_eq!(d.k(), 2);
+        assert_eq!(d.payload_bits(), 16);
+    }
+
+    #[test]
+    fn source_decoder_contains_generation_messages() {
+        let msgs: Vec<BitVec> = (0..10u64).map(|i| BitVec::from_u64(i, 8)).collect();
+        let p = GenerationPlan::new(10, 4, 8);
+        let d = p.source_decoder_for(1, &msgs);
+        assert!(d.can_decode());
+        assert_eq!(d.decode().unwrap(), msgs[4..8].to_vec());
+    }
+
+    #[test]
+    fn coefficient_bits_is_generation_size() {
+        let p = GenerationPlan::new(1000, 10, 8);
+        assert_eq!(p.coefficient_bits(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn len_of_out_of_range_panics() {
+        let p = GenerationPlan::new(4, 2, 8);
+        let _ = p.len_of(2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Dense matrices over `F_2` with Gaussian elimination.
+
+use super::BitVec;
+use std::fmt;
+
+/// A matrix over `F_2` stored as a list of [`BitVec`] rows of equal width.
+///
+/// ```
+/// use rlnc::gf2::{BitMatrix, BitVec};
+/// let mut m = BitMatrix::new(3);
+/// m.push_row(BitVec::from_bools([true, false, true]));
+/// m.push_row(BitVec::from_bools([false, true, true]));
+/// m.push_row(BitVec::from_bools([true, true, false])); // = row0 + row1
+/// assert_eq!(m.rank(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    width: usize,
+    rows: Vec<BitVec>,
+}
+
+impl BitMatrix {
+    /// An empty matrix whose rows will have `width` columns.
+    pub fn new(width: usize) -> Self {
+        BitMatrix { width, rows: Vec::new() }
+    }
+
+    /// The identity matrix of size `n × n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = BitMatrix::new(n);
+        for i in 0..n {
+            m.push_row(BitVec::unit(n, i));
+        }
+        m
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the matrix width.
+    pub fn push_row(&mut self, row: BitVec) {
+        assert_eq!(row.len(), self.width, "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Row `i`.
+    pub fn row(&self, i: usize) -> &BitVec {
+        &self.rows[i]
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[BitVec] {
+        &self.rows
+    }
+
+    /// The rank of the matrix (destructive elimination on a copy).
+    pub fn rank(&self) -> usize {
+        let mut work: Vec<BitVec> = self.rows.clone();
+        let mut rank = 0;
+        for col in 0..self.width {
+            // Find a row at or below `rank` with a leading 1 in `col`.
+            let Some(pivot) = (rank..work.len()).find(|&r| work[r].get(col)) else {
+                continue;
+            };
+            work.swap(rank, pivot);
+            let pivot_row = work[rank].clone();
+            for (r, row) in work.iter_mut().enumerate() {
+                if r != rank && row.get(col) {
+                    row.xor_assign(&pivot_row);
+                }
+            }
+            rank += 1;
+            if rank == work.len() {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// Whether the rows span the full `width`-dimensional space.
+    pub fn is_full_rank(&self) -> bool {
+        self.rank() == self.width
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix {}x{} [", self.rows.len(), self.width)?;
+        for row in &self.rows {
+            writeln!(f, "  {row:?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_is_full_rank() {
+        assert!(BitMatrix::identity(8).is_full_rank());
+        assert_eq!(BitMatrix::identity(8).rank(), 8);
+    }
+
+    #[test]
+    fn dependent_rows_reduce_rank() {
+        let mut m = BitMatrix::new(4);
+        let a = BitVec::from_bools([true, true, false, false]);
+        let b = BitVec::from_bools([false, false, true, true]);
+        let mut c = a.clone();
+        c.xor_assign(&b);
+        m.push_row(a);
+        m.push_row(b);
+        m.push_row(c);
+        assert_eq!(m.rank(), 2);
+        assert!(!m.is_full_rank());
+    }
+
+    #[test]
+    fn zero_rows_have_rank_zero() {
+        let mut m = BitMatrix::new(5);
+        m.push_row(BitVec::zero(5));
+        m.push_row(BitVec::zero(5));
+        assert_eq!(m.rank(), 0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = BitMatrix::new(3);
+        assert_eq!(m.rank(), 0);
+        assert_eq!(m.row_count(), 0);
+        assert!(!m.is_full_rank());
+    }
+
+    #[test]
+    fn width_zero_matrix_is_trivially_full_rank() {
+        let m = BitMatrix::new(0);
+        assert!(m.is_full_rank());
+    }
+
+    #[test]
+    fn random_square_matrices_rank_statistics() {
+        // A random n×n matrix over F2 is full rank with probability
+        // ~ prod (1 - 2^-i) ≈ 0.2887; check we land in a plausible band.
+        let mut rng = SmallRng::seed_from_u64(42);
+        let trials = 200;
+        let mut full = 0;
+        for _ in 0..trials {
+            let mut m = BitMatrix::new(16);
+            for _ in 0..16 {
+                m.push_row(BitVec::random(16, &mut rng));
+            }
+            if m.is_full_rank() {
+                full += 1;
+            }
+        }
+        let p = full as f64 / trials as f64;
+        assert!((0.15..0.45).contains(&p), "full-rank fraction {p}");
+    }
+
+    #[test]
+    fn rank_bounded_by_dimensions() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut m = BitMatrix::new(4);
+        for _ in 0..10 {
+            m.push_row(BitVec::random(4, &mut rng));
+        }
+        assert!(m.rank() <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut m = BitMatrix::new(4);
+        m.push_row(BitVec::zero(5));
+    }
+
+    #[test]
+    fn debug_shows_dimensions() {
+        let m = BitMatrix::identity(2);
+        assert!(format!("{m:?}").contains("2x2"));
+    }
+}

@@ -1,0 +1,347 @@
+//! Bit-packed vectors over `F_2`.
+
+use rand::Rng;
+use std::fmt;
+
+/// A fixed-length vector over `F_2`, bit-packed into `u64` limbs.
+///
+/// Bit `i` of the vector is bit `i % 64` of limb `i / 64`. Trailing bits of
+/// the last limb beyond `len` are kept zero (an invariant relied on by
+/// [`BitVec::is_zero`] and [`BitVec::dot`]).
+///
+/// ```
+/// use rlnc::gf2::BitVec;
+/// let mut v = BitVec::zero(100);
+/// v.set(3, true);
+/// v.set(99, true);
+/// assert_eq!(v.weight(), 2);
+/// assert_eq!(v.first_set(), Some(3));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    limbs: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// The all-zero vector of length `len`.
+    pub fn zero(len: usize) -> Self {
+        BitVec { limbs: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// The `i`-th standard basis vector of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn unit(len: usize, i: usize) -> Self {
+        let mut v = BitVec::zero(len);
+        v.set(i, true);
+        v
+    }
+
+    /// A vector of length `len` whose low bits are those of `value`
+    /// (little-endian); bits of `value` beyond `len` must be zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` has a set bit at position `>= len`.
+    pub fn from_u64(value: u64, len: usize) -> Self {
+        if len < 64 {
+            assert!(
+                len == 0 && value == 0 || value >> len == 0,
+                "value does not fit in {len} bits"
+            );
+        }
+        let mut v = BitVec::zero(len.max(1));
+        v.len = len;
+        if !v.limbs.is_empty() {
+            v.limbs[0] = value;
+        }
+        v
+    }
+
+    /// Builds a vector from booleans.
+    pub fn from_bools(bits: impl IntoIterator<Item = bool>) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut v = BitVec::zero(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            v.set(i, *b);
+        }
+        v
+    }
+
+    /// A uniformly random vector of length `len`.
+    pub fn random(len: usize, rng: &mut impl Rng) -> Self {
+        let mut v = BitVec::zero(len);
+        for limb in &mut v.limbs {
+            *limb = rng.gen();
+        }
+        v.mask_tail();
+        v
+    }
+
+    /// A uniformly random *nonzero* vector of length `len >= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn random_nonzero(len: usize, rng: &mut impl Rng) -> Self {
+        assert!(len >= 1, "cannot draw a nonzero vector of length 0");
+        loop {
+            let v = BitVec::random(len, rng);
+            if !v.is_zero() {
+                return v;
+            }
+        }
+    }
+
+    /// Length in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has length 0.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.limbs[i / 64] |= mask;
+        } else {
+            self.limbs[i / 64] &= !mask;
+        }
+    }
+
+    /// In-place addition over `F_2` (`self ^= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[inline]
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in xor_assign");
+        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+            *a ^= b;
+        }
+    }
+
+    /// Inner product over `F_2`: the parity of `|self ∧ other|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[inline]
+    pub fn dot(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch in dot");
+        let mut acc = 0u64;
+        for (a, b) in self.limbs.iter().zip(&other.limbs) {
+            acc ^= a & b;
+        }
+        acc.count_ones() % 2 == 1
+    }
+
+    /// Whether all bits are zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn weight(&self) -> usize {
+        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+    }
+
+    /// Index of the lowest set bit, if any.
+    #[inline]
+    pub fn first_set(&self) -> Option<usize> {
+        for (w, &limb) in self.limbs.iter().enumerate() {
+            if limb != 0 {
+                return Some(w * 64 + limb.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterates over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.limbs.iter().enumerate().flat_map(|(w, &limb)| {
+            let mut rest = limb;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(w * 64 + bit)
+            })
+        })
+    }
+
+    /// Zeroes any bits beyond `len` in the last limb.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.limbs.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        let shown = self.len.min(64);
+        for i in 0..shown {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > shown {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_and_unit() {
+        let z = BitVec::zero(70);
+        assert!(z.is_zero());
+        assert_eq!(z.len(), 70);
+        let u = BitVec::unit(70, 65);
+        assert!(!u.is_zero());
+        assert_eq!(u.first_set(), Some(65));
+        assert_eq!(u.weight(), 1);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::zero(130);
+        for i in [0usize, 63, 64, 127, 129] {
+            v.set(i, true);
+            assert!(v.get(i));
+        }
+        assert_eq!(v.weight(), 5);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.weight(), 4);
+    }
+
+    #[test]
+    fn xor_is_f2_addition() {
+        let mut a = BitVec::from_bools([true, false, true, false]);
+        let b = BitVec::from_bools([true, true, false, false]);
+        a.xor_assign(&b);
+        assert_eq!(a, BitVec::from_bools([false, true, true, false]));
+        // x + x = 0.
+        let mut c = b.clone();
+        c.xor_assign(&b);
+        assert!(c.is_zero());
+    }
+
+    #[test]
+    fn dot_is_parity_of_and() {
+        let a = BitVec::from_bools([true, true, false, true]);
+        let b = BitVec::from_bools([true, false, true, true]);
+        // overlap at 0 and 3 -> even parity.
+        assert!(!a.dot(&b));
+        let c = BitVec::from_bools([true, false, false, false]);
+        assert!(a.dot(&c));
+    }
+
+    #[test]
+    fn from_u64_layout() {
+        let v = BitVec::from_u64(0b1011, 8);
+        assert!(v.get(0) && v.get(1) && !v.get(2) && v.get(3));
+        assert_eq!(v.weight(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn from_u64_overflow_panics() {
+        let _ = BitVec::from_u64(0b100, 2);
+    }
+
+    #[test]
+    fn random_respects_tail_mask() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for len in [1usize, 7, 63, 64, 65, 100] {
+            let v = BitVec::random(len, &mut rng);
+            // All set bits must be below len.
+            assert!(v.iter_ones().all(|i| i < len), "len {len}");
+        }
+    }
+
+    #[test]
+    fn random_nonzero_never_zero() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert!(!BitVec::random_nonzero(1, &mut rng).is_zero());
+        }
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut v = BitVec::zero(200);
+        for i in [3usize, 64, 65, 199] {
+            v.set(i, true);
+        }
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![3, 64, 65, 199]);
+    }
+
+    #[test]
+    fn first_set_none_for_zero() {
+        assert_eq!(BitVec::zero(10).first_set(), None);
+    }
+
+    #[test]
+    fn debug_truncates() {
+        let v = BitVec::zero(100);
+        let s = format!("{v:?}");
+        assert!(s.contains("…"));
+        assert!(s.starts_with("BitVec[100;"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zero(4);
+        let _ = v.get(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_length_mismatch_panics() {
+        let mut a = BitVec::zero(4);
+        a.xor_assign(&BitVec::zero(5));
+    }
+}

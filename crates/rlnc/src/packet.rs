@@ -1,0 +1,355 @@
+//! Network-coded packets and the incremental RLNC receiver.
+
+use crate::gf2::BitVec;
+use rand::Rng;
+use std::fmt;
+
+/// A network-coded packet: a coefficient vector `α ∈ F_2^k` together with the
+/// payload `Σ α_i · m_i` (Section 3.3.1 of the paper).
+///
+/// The on-air encoding of a packet is `k` coefficient bits plus the payload
+/// bits, which [`CodedPacket::packet_bits`] reports for packet-budget audits.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CodedPacket {
+    coeffs: BitVec,
+    payload: BitVec,
+}
+
+impl CodedPacket {
+    /// Builds a packet from its parts.
+    pub fn new(coeffs: BitVec, payload: BitVec) -> Self {
+        CodedPacket { coeffs, payload }
+    }
+
+    /// The plaintext packet carrying message `i` of `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= k`.
+    pub fn plaintext(k: usize, i: usize, payload: BitVec) -> Self {
+        CodedPacket { coeffs: BitVec::unit(k, i), payload }
+    }
+
+    /// The coefficient vector.
+    pub fn coeffs(&self) -> &BitVec {
+        &self.coeffs
+    }
+
+    /// The coded payload.
+    pub fn payload(&self) -> &BitVec {
+        &self.payload
+    }
+
+    /// Number of messages this packet codes over.
+    pub fn k(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Adds `other` into this packet (`F_2` addition of both parts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn xor_assign(&mut self, other: &CodedPacket) {
+        self.coeffs.xor_assign(&other.coeffs);
+        self.payload.xor_assign(&other.payload);
+    }
+
+    /// On-air size in bits: coefficients + payload.
+    pub fn packet_bits(&self) -> usize {
+        self.coeffs.len() + self.payload.len()
+    }
+}
+
+impl fmt::Debug for CodedPacket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CodedPacket(coeffs={:?}, payload_bits={})", self.coeffs, self.payload.len())
+    }
+}
+
+/// Incremental RLNC receiver state: the subspace of coefficient vectors
+/// received so far, kept in row-echelon form.
+///
+/// Every node in the paper's multi-message algorithms owns one `Decoder` per
+/// generation: received packets are [inserted](Decoder::insert), outgoing
+/// packets are drawn with [`Decoder::random_combination`], and the original
+/// messages are recovered with [`Decoder::decode`] once the coefficient space
+/// has full rank.
+#[derive(Clone, Debug)]
+pub struct Decoder {
+    k: usize,
+    payload_bits: usize,
+    /// Echelon rows ordered by pivot column; `pivots[i]` is the column of the
+    /// leading 1 of `rows[i]`.
+    rows: Vec<CodedPacket>,
+    pivots: Vec<usize>,
+}
+
+impl Decoder {
+    /// An empty decoder for `k` messages of `payload_bits` bits each.
+    pub fn new(k: usize, payload_bits: usize) -> Self {
+        Decoder { k, payload_bits, rows: Vec::new(), pivots: Vec::new() }
+    }
+
+    /// A decoder pre-loaded with all `k` original messages — the state of the
+    /// *source* node.
+    pub fn with_messages(messages: &[BitVec]) -> Self {
+        let k = messages.len();
+        let payload_bits = messages.first().map_or(0, BitVec::len);
+        let mut d = Decoder::new(k, payload_bits);
+        for (i, m) in messages.iter().enumerate() {
+            assert_eq!(m.len(), payload_bits, "messages must share a length");
+            d.insert(CodedPacket::plaintext(k, i, m.clone()));
+        }
+        d
+    }
+
+    /// Number of messages in the generation.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Payload width in bits.
+    pub fn payload_bits(&self) -> usize {
+        self.payload_bits
+    }
+
+    /// Current rank of the received coefficient space.
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the decoder has seen any innovative packet at all.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a received packet. Returns `true` iff it was *innovative*
+    /// (increased the rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet's dimensions do not match the decoder's.
+    pub fn insert(&mut self, mut packet: CodedPacket) -> bool {
+        assert_eq!(packet.k(), self.k, "coefficient width mismatch");
+        assert_eq!(packet.payload().len(), self.payload_bits, "payload width mismatch");
+        // Reduce against existing rows.
+        loop {
+            let Some(lead) = packet.coeffs().first_set() else {
+                return false; // reduced to zero: not innovative
+            };
+            match self.pivots.binary_search(&lead) {
+                Ok(idx) => {
+                    let row = self.rows[idx].clone();
+                    packet.xor_assign(&row);
+                }
+                Err(idx) => {
+                    // New pivot. First clear the pivot columns of later rows
+                    // from the packet (they are all > lead, so the lead is
+                    // unaffected), keeping *reduced* row-echelon form.
+                    for r in idx..self.rows.len() {
+                        if packet.coeffs().get(self.pivots[r]) {
+                            let row = self.rows[r].clone();
+                            packet.xor_assign(&row);
+                        }
+                    }
+                    // Then back-substitute into every row with a 1 in `lead`.
+                    for row in &mut self.rows {
+                        if row.coeffs().get(lead) {
+                            row.xor_assign(&packet);
+                        }
+                    }
+                    self.rows.insert(idx, packet);
+                    self.pivots.insert(idx, lead);
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Whether all `k` messages can be decoded.
+    pub fn can_decode(&self) -> bool {
+        self.rank() == self.k
+    }
+
+    /// Decodes the original messages, or `None` if the rank is not yet `k`.
+    pub fn decode(&self) -> Option<Vec<BitVec>> {
+        if !self.can_decode() {
+            return None;
+        }
+        // Rows are in *reduced* echelon form with k pivots, so row i is
+        // exactly the unit vector e_i and its payload is message i.
+        Some(self.rows.iter().map(|r| r.payload().clone()).collect())
+    }
+
+    /// Draws a uniformly random packet from the received span, excluding the
+    /// zero combination (a fresh *coded* transmission). Returns `None` if
+    /// nothing has been received.
+    pub fn random_combination(&self, rng: &mut impl Rng) -> Option<CodedPacket> {
+        if self.rows.is_empty() {
+            return None;
+        }
+        let sel = BitVec::random_nonzero(self.rows.len(), rng);
+        let mut out = CodedPacket::new(BitVec::zero(self.k), BitVec::zero(self.payload_bits));
+        for i in sel.iter_ones() {
+            out.xor_assign(&self.rows[i]);
+        }
+        Some(out)
+    }
+
+    /// Whether this node is *infected* by the test vector `μ` in the sense of
+    /// the projection analysis (Definition 3.8): some received packet — hence
+    /// some basis vector of the span — is not orthogonal to `μ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu.len() != k`.
+    pub fn infected_by(&self, mu: &BitVec) -> bool {
+        assert_eq!(mu.len(), self.k, "test vector width mismatch");
+        self.rows.iter().any(|r| r.coeffs().dot(mu))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn messages(k: usize, bits: usize) -> Vec<BitVec> {
+        assert!(bits < 64);
+        let mask = (1u64 << bits) - 1;
+        (0..k).map(|i| BitVec::from_u64((i as u64 + 1).wrapping_mul(0x9E37) & mask, bits)).collect()
+    }
+
+    #[test]
+    fn source_decoder_is_complete() {
+        let msgs = messages(5, 16);
+        let d = Decoder::with_messages(&msgs);
+        assert!(d.can_decode());
+        assert_eq!(d.decode().unwrap(), msgs);
+    }
+
+    #[test]
+    fn plaintext_insert_decodes() {
+        let msgs = messages(3, 16);
+        let mut d = Decoder::new(3, 16);
+        for (i, m) in msgs.iter().enumerate() {
+            assert!(d.insert(CodedPacket::plaintext(3, i, m.clone())));
+        }
+        assert_eq!(d.decode().unwrap(), msgs);
+    }
+
+    #[test]
+    fn duplicate_packet_not_innovative() {
+        let msgs = messages(3, 16);
+        let mut d = Decoder::new(3, 16);
+        let p = CodedPacket::plaintext(3, 1, msgs[1].clone());
+        assert!(d.insert(p.clone()));
+        assert!(!d.insert(p));
+        assert_eq!(d.rank(), 1);
+    }
+
+    #[test]
+    fn zero_packet_not_innovative() {
+        let mut d = Decoder::new(3, 8);
+        assert!(!d.insert(CodedPacket::new(BitVec::zero(3), BitVec::zero(8))));
+    }
+
+    #[test]
+    fn coded_relay_chain_decodes() {
+        // Source -> relay -> sink over random combinations only.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let msgs = messages(6, 32);
+        let source = Decoder::with_messages(&msgs);
+        let mut relay = Decoder::new(6, 32);
+        let mut sink = Decoder::new(6, 32);
+        let mut sent = 0;
+        while !sink.can_decode() {
+            sent += 1;
+            assert!(sent < 1000, "chain failed to converge");
+            if let Some(p) = source.random_combination(&mut rng) {
+                relay.insert(p);
+            }
+            if let Some(p) = relay.random_combination(&mut rng) {
+                sink.insert(p);
+            }
+        }
+        assert_eq!(sink.decode().unwrap(), msgs);
+    }
+
+    #[test]
+    fn random_combination_innovative_with_prob_half() {
+        // Proposition 3.9 ingredient: a random combination from a sender that
+        // is infected by μ infects the receiver with probability >= 1/2.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let msgs = messages(8, 8);
+        let source = Decoder::with_messages(&msgs);
+        let mu = BitVec::random_nonzero(8, &mut rng);
+        assert!(source.infected_by(&mu));
+        let trials = 2000;
+        let mut infected = 0;
+        for _ in 0..trials {
+            let p = source.random_combination(&mut rng).unwrap();
+            if p.coeffs().dot(&mu) {
+                infected += 1;
+            }
+        }
+        let frac = infected as f64 / trials as f64;
+        assert!(frac > 0.45, "infection fraction {frac} too small");
+    }
+
+    #[test]
+    fn infected_by_tracks_span_not_rows() {
+        let mut d = Decoder::new(4, 4);
+        // Insert e0 + e1.
+        let mut c = BitVec::unit(4, 0);
+        c.xor_assign(&BitVec::unit(4, 1));
+        d.insert(CodedPacket::new(c, BitVec::zero(4)));
+        // μ = e0 + e1 is orthogonal to the span {0, e0+e1}.
+        let mut mu = BitVec::unit(4, 0);
+        mu.xor_assign(&BitVec::unit(4, 1));
+        assert!(!d.infected_by(&mu));
+        // μ = e0 is not orthogonal.
+        assert!(d.infected_by(&BitVec::unit(4, 0)));
+    }
+
+    #[test]
+    fn decode_payload_consistency_under_coding() {
+        // Whatever path packets take, decoded payloads equal the originals.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let msgs = messages(4, 24);
+        let source = Decoder::with_messages(&msgs);
+        let mut sink = Decoder::new(4, 24);
+        while !sink.can_decode() {
+            sink.insert(source.random_combination(&mut rng).unwrap());
+        }
+        assert_eq!(sink.decode().unwrap(), msgs);
+    }
+
+    #[test]
+    fn packet_bits_accounting() {
+        let p = CodedPacket::plaintext(10, 0, BitVec::zero(32));
+        assert_eq!(p.packet_bits(), 42);
+    }
+
+    #[test]
+    fn rank_never_exceeds_k() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut d = Decoder::new(5, 8);
+        for _ in 0..50 {
+            let p = CodedPacket::new(BitVec::random(5, &mut rng), BitVec::random(8, &mut rng));
+            d.insert(p);
+        }
+        assert!(d.rank() <= 5);
+    }
+
+    #[test]
+    fn empty_decoder_has_no_combination() {
+        let d = Decoder::new(3, 8);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(d.random_combination(&mut rng).is_none());
+        assert!(!d.can_decode());
+        assert!(d.decode().is_none());
+    }
+}

@@ -1,0 +1,53 @@
+//! A run is a pure function of (graph, protocol, master seed).
+
+use broadcast::multi_message::{broadcast_known, broadcast_unknown, BatchMode};
+use broadcast::schedule::{EmptyBehavior, SlowKey};
+use broadcast::single_message::broadcast_single;
+use broadcast::Params;
+use radio_sim::graph::generators;
+use radio_sim::NodeId;
+use rlnc::gf2::BitVec;
+
+#[test]
+fn single_message_deterministic() {
+    let g = generators::cluster_chain(4, 5);
+    let params = Params::scaled(20);
+    let a = broadcast_single(&g, NodeId::new(0), 5, &params, 42).completion_round;
+    let b = broadcast_single(&g, NodeId::new(0), 5, &params, 42).completion_round;
+    let c = broadcast_single(&g, NodeId::new(0), 5, &params, 43).completion_round;
+    assert_eq!(a, b);
+    assert!(a.is_some() && c.is_some());
+}
+
+#[test]
+fn known_topology_deterministic() {
+    let g = generators::grid(5, 4);
+    let params = Params::scaled(20);
+    let msgs: Vec<BitVec> = (0..4u64).map(|i| BitVec::from_u64(i, 16)).collect();
+    let run = |seed| {
+        broadcast_known(
+            &g,
+            NodeId::new(0),
+            &msgs,
+            &params,
+            seed,
+            SlowKey::VirtualDistance,
+            EmptyBehavior::Silent,
+            500_000,
+        )
+        .completion_round
+    };
+    assert_eq!(run(7), run(7));
+}
+
+#[test]
+fn unknown_topology_deterministic() {
+    let g = generators::grid(4, 4);
+    let params = Params::scaled(16);
+    let msgs: Vec<BitVec> = (0..3u64).map(|i| BitVec::from_u64(i, 16)).collect();
+    let run = |seed| {
+        broadcast_unknown(&g, NodeId::new(0), &msgs, &params, seed, BatchMode::FullK)
+            .completion_round
+    };
+    assert_eq!(run(9), run(9));
+}

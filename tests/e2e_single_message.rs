@@ -1,0 +1,50 @@
+//! End-to-end Theorem 1.1 runs across graph families and seeds.
+
+use broadcast::single_message::broadcast_single;
+use broadcast::Params;
+use radio_sim::graph::generators;
+use radio_sim::rng::stream_rng;
+use radio_sim::NodeId;
+
+#[test]
+fn completes_across_families_and_seeds() {
+    let mut rng = stream_rng(1, 0);
+    let cases = vec![
+        generators::path(30),
+        generators::grid(6, 5),
+        generators::cluster_chain(5, 6),
+        generators::binary_tree(31),
+        generators::gnp_connected(48, 0.09, &mut rng),
+        generators::unit_disk(60, 0.22, &mut rng),
+    ];
+    for (i, g) in cases.into_iter().enumerate() {
+        for seed in 0..2u64 {
+            let params = Params::scaled(g.node_count());
+            let out = broadcast_single(&g, NodeId::new(0), 0xABCD, &params, seed);
+            assert!(
+                out.completion_round.is_some(),
+                "case {i} seed {seed}: no completion in {} rounds",
+                out.plan.total_rounds()
+            );
+        }
+    }
+}
+
+#[test]
+fn source_can_be_any_node() {
+    let g = generators::grid(5, 5);
+    let params = Params::scaled(25);
+    for source in [0usize, 12, 24] {
+        let out = broadcast_single(&g, NodeId::new(source), 7, &params, 3);
+        assert!(out.completion_round.is_some(), "source {source}");
+    }
+}
+
+#[test]
+fn completion_is_within_the_plan_budget() {
+    let g = generators::cluster_chain(6, 5);
+    let params = Params::scaled(30);
+    let out = broadcast_single(&g, NodeId::new(0), 1, &params, 4);
+    let done = out.completion_round.expect("completes");
+    assert!(done <= out.plan.total_rounds() + 1);
+}

@@ -1,0 +1,78 @@
+//! Property tests: distributed and centralized GST constructions on random
+//! graphs, checked by the verifier.
+
+use broadcast::construction::{ConstructionSchedule, GstConstructionNode};
+use broadcast::Params;
+use gst::{build_gst, verify_gst, BuildConfig, GstViolation};
+use proptest::prelude::*;
+use radio_sim::graph::{generators, Traversal};
+use radio_sim::rng::stream_rng;
+use radio_sim::{CollisionMode, NodeId, Simulator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn centralized_gst_is_always_valid(n in 8usize..60, p in 0.05f64..0.3, seed in 0u64..1000) {
+        let mut rng = stream_rng(seed, 0);
+        let g = generators::gnp_connected(n, p, &mut rng);
+        let (tree, report) = build_gst(&g, &[NodeId::new(0)], &mut rng, &BuildConfig::for_nodes(n));
+        let violations = verify_gst(&g, &tree, &[NodeId::new(0)]);
+        prop_assert!(violations.is_empty(), "violations: {:?}", violations);
+        prop_assert_eq!(report.fallback_assignments, 0);
+        prop_assert!(tree.max_rank() <= radio_sim::graph::ceil_log2(n));
+    }
+
+    #[test]
+    fn centralized_gst_valid_on_trees(n in 4usize..80, seed in 0u64..1000) {
+        let mut rng = stream_rng(seed, 1);
+        let g = generators::random_tree(n, &mut rng);
+        let (tree, _) = build_gst(&g, &[NodeId::new(0)], &mut rng, &BuildConfig::for_nodes(n));
+        let violations = verify_gst(&g, &tree, &[NodeId::new(0)]);
+        prop_assert!(violations.is_empty(), "violations: {:?}", violations);
+    }
+}
+
+#[test]
+fn distributed_construction_structurally_sound_on_random_graphs() {
+    // Hard guarantees even with scaled constants: spanning tree with real
+    // neighbors as parents and no orphans. Rank softness is bounded.
+    let mut soft_total = 0usize;
+    let mut nodes_total = 0usize;
+    for seed in 0..5u64 {
+        let mut rng = stream_rng(seed, 2);
+        let g = generators::gnp_connected(36, 0.12, &mut rng);
+        let params = Params::scaled(36);
+        let layering = g.bfs(NodeId::new(0));
+        let sched = ConstructionSchedule::new(&params, layering.max_level().max(1));
+        let mut sim = Simulator::new(g.clone(), CollisionMode::NoDetection, seed, |id| {
+            GstConstructionNode::new(&params, sched, id.raw(), layering.level(id))
+        });
+        sim.run(sched.total_rounds() + 1);
+        let labels: Vec<_> = sim.nodes().iter().map(|n| n.labels()).collect();
+        let tree = gst::Gst::new(
+            labels.iter().map(|l| l.level).collect(),
+            labels.iter().map(|l| l.rank).collect(),
+            labels.iter().map(|l| l.parent).collect(),
+        )
+        .expect("well-shaped");
+        let violations = verify_gst(&g, &tree, &[NodeId::new(0)]);
+        for v in &violations {
+            match v {
+                GstViolation::NotSpanning { .. }
+                | GstViolation::UnexpectedRoot { .. }
+                | GstViolation::ParentNotNeighbor { .. }
+                | GstViolation::WrongLevel { .. } => {
+                    panic!("hard violation at seed {seed}: {v}");
+                }
+                _ => soft_total += 1,
+            }
+        }
+        nodes_total += g.node_count();
+        assert_eq!(sim.nodes().iter().filter(|n| n.stats().orphaned).count(), 0);
+    }
+    assert!(
+        soft_total * 20 <= nodes_total,
+        "too many soft violations: {soft_total}/{nodes_total}"
+    );
+}

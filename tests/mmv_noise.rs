@@ -1,0 +1,54 @@
+//! Lemma 3.2 / 3.3: dissemination survives worst-case noise senders.
+
+use broadcast::decay::MmvDecayBroadcast;
+use broadcast::multi_message::broadcast_known;
+use broadcast::schedule::{EmptyBehavior, SlowKey};
+use broadcast::Params;
+use radio_sim::graph::{generators, Traversal};
+use radio_sim::{CollisionMode, NodeId, Simulator};
+use rlnc::gf2::BitVec;
+
+#[test]
+fn layered_decay_with_noise_completes_and_stays_same_shape() {
+    let g = generators::cluster_chain(6, 5);
+    let layering = g.bfs(NodeId::new(0));
+    let params = Params::scaled(g.node_count());
+    let levels: Vec<u32> = g.node_ids().map(|v| layering.level(v)).collect();
+    let mut totals = [0u64, 0u64];
+    for (i, noise) in [false, true].into_iter().enumerate() {
+        for seed in 0..3u64 {
+            let mut sim = Simulator::new(g.clone(), CollisionMode::NoDetection, seed, |id| {
+                MmvDecayBroadcast::new(
+                    &params,
+                    levels[id.index()],
+                    noise,
+                    (id.index() == 0).then_some(1),
+                )
+            });
+            let done = sim
+                .run_until(2_000_000, |ns| ns.iter().all(MmvDecayBroadcast::is_informed))
+                .expect("completes");
+            totals[i] += done;
+        }
+    }
+    // Noise may slow things down by a constant factor, never unboundedly.
+    assert!(totals[1] < totals[0] * 8, "noise blew up: {totals:?}");
+}
+
+#[test]
+fn mmv_schedule_with_noise_senders_completes() {
+    let g = generators::grid(5, 5);
+    let params = Params::scaled(25);
+    let msgs: Vec<BitVec> = (0..4u64).map(|i| BitVec::from_u64(i + 1, 16)).collect();
+    let out = broadcast_known(
+        &g,
+        NodeId::new(0),
+        &msgs,
+        &params,
+        5,
+        SlowKey::VirtualDistance,
+        EmptyBehavior::Noise,
+        2_000_000,
+    );
+    assert!(out.completion_round.is_some());
+}

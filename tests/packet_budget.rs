@@ -1,0 +1,40 @@
+//! E14 as a test: control packets stay within O(log n) bits (plus payload).
+
+use broadcast::construction::GstMsg;
+use broadcast::recruiting::{CountClass, RecruitMsg};
+use radio_sim::model::PacketBits;
+use rlnc::gf2::BitVec;
+use rlnc::CodedPacket;
+
+const ID_BITS: usize = 32; // ids are O(log n); we store them in u32 words
+const PAYLOAD_BITS: usize = 64;
+
+#[test]
+fn control_packets_are_small() {
+    let budget = 3 * ID_BITS + 16;
+    let msgs: Vec<usize> = vec![
+        RecruitMsg::Beacon { red: 1, class: CountClass::Multi }.packet_bits(),
+        RecruitMsg::Response { blue: 1, red: 2 }.packet_bits(),
+        RecruitMsg::EchoSingle { red: 1, blue: 2, multi: true }.packet_bits(),
+        GstMsg::Identify { rank: 3 }.packet_bits(),
+        GstMsg::RankAnnounce { red: 1, rank: 3 }.packet_bits(),
+        GstMsg::Loner.packet_bits(),
+    ];
+    for bits in msgs {
+        assert!(bits <= budget, "{bits} bits exceeds {budget}");
+    }
+}
+
+#[test]
+fn generation_coded_packets_fit_logarithmic_budget() {
+    let log_n = radio_sim::graph::ceil_log2(1 << 20) as usize; // n = 1M
+    let p = CodedPacket::plaintext(log_n, 0, BitVec::zero(PAYLOAD_BITS));
+    // Coefficient overhead is exactly the generation size = O(log n).
+    assert_eq!(p.packet_bits(), log_n + PAYLOAD_BITS);
+}
+
+#[test]
+fn full_k_coding_overhead_is_k_bits() {
+    let p = CodedPacket::plaintext(256, 0, BitVec::zero(PAYLOAD_BITS));
+    assert_eq!(p.packet_bits(), 256 + PAYLOAD_BITS);
+}
