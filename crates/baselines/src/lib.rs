@@ -14,7 +14,7 @@
 //! * [`routing`] — the no-coding multi-message baseline: the paper's own MMV
 //!   GST schedule, but forwarding a uniformly random *plaintext* stored
 //!   message instead of an RLNC combination (the routing-vs-coding question
-//!   of Ghaffari–Haeupler–Khabbazian [11]).
+//!   of Ghaffari–Haeupler–Khabbazian \[11\]).
 //! * [`repeat`] — the trivial `k ×` single-message baseline.
 
 #![forbid(unsafe_code)]
@@ -287,7 +287,7 @@ pub mod repeat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use broadcast::schedule::{ScheduleConfig, SchedLabels, SlowKey, EmptyBehavior};
+    use broadcast::schedule::{EmptyBehavior, SchedLabels, ScheduleConfig, SlowKey};
     use broadcast::Params;
     use radio_sim::graph::{generators, Traversal};
     use radio_sim::{CollisionMode, NodeId, Simulator};
@@ -339,8 +339,7 @@ mod tests {
         let cfg = ScheduleConfig::from_params(&params);
         let payloads: Vec<u64> = (0..k as u64).collect();
         let mut sim = Simulator::new(g.clone(), CollisionMode::NoDetection, 2, |id| {
-            let node =
-                routing::RoutingNode::new(cfg, SchedLabels::from_gst(&tree, &vd, id), k);
+            let node = routing::RoutingNode::new(cfg, SchedLabels::from_gst(&tree, &vd, id), k);
             if id.index() == 0 {
                 node.with_messages(&payloads)
             } else {

@@ -9,7 +9,10 @@ use radio_sim::rng::stream_rng;
 use radio_sim::NodeId;
 
 fn main() {
-    header("E6: assignment epochs per boundary-rank subproblem", &["n", "epochs/subproblem", "fallbacks"]);
+    header(
+        "E6: assignment epochs per boundary-rank subproblem",
+        &["n", "epochs/subproblem", "fallbacks"],
+    );
     for n in [32usize, 64, 128, 256] {
         let mut epochs = 0u64;
         let mut problems = 0u64;
@@ -17,12 +20,8 @@ fn main() {
         for seed in 0..SEEDS {
             let mut rng = stream_rng(seed, 7);
             let g = generators::gnp_connected(n, 3.0 / n as f64, &mut rng);
-            let (tree, report) = gst::build_gst(
-                &g,
-                &[NodeId::new(0)],
-                &mut rng,
-                &gst::BuildConfig::for_nodes(n),
-            );
+            let (tree, report) =
+                gst::build_gst(&g, &[NodeId::new(0)], &mut rng, &gst::BuildConfig::for_nodes(n));
             epochs += report.epochs;
             // Non-trivial subproblems ~ boundaries × ranks present.
             problems += u64::from(tree.max_level()) * u64::from(tree.max_rank().max(1));

@@ -20,15 +20,15 @@ fn run(width: usize, noise: bool, seed: u64) -> Option<u64> {
 }
 
 fn main() {
-    header("E7: layered Decay with and without noise senders (grids w x 5)", &["D", "silent", "noisy (MMV)"]);
+    header(
+        "E7: layered Decay with and without noise senders (grids w x 5)",
+        &["D", "silent", "noisy (MMV)"],
+    );
     for width in [6usize, 12, 24] {
         let d = width + 4 - 1;
         let silent: Vec<_> = (0..SEEDS).map(|s| run(width, false, s)).collect();
         let noisy: Vec<_> = (0..SEEDS).map(|s| run(width, true, s)).collect();
-        row(
-            &format!("{d}"),
-            &[format!("{d}"), cell(mean_std(&silent)), cell(mean_std(&noisy))],
-        );
+        row(&format!("{d}"), &[format!("{d}"), cell(mean_std(&silent)), cell(mean_std(&noisy))]);
     }
     println!("(expect: both columns grow with the same D·log n shape)");
 }

@@ -35,7 +35,9 @@ impl Protocol for Contender {
 }
 
 fn main() {
-    println!("\n=== E15: Decay per-phase reception probability (listener center, contenders sweep) ===");
+    println!(
+        "\n=== E15: Decay per-phase reception probability (listener center, contenders sweep) ==="
+    );
     println!("{:>12} | {:>12} | {:>8}", "contenders", "P(receive)", ">= 1/8?");
     for leaves in [1usize, 2, 4, 16, 64, 256] {
         let params = Params::scaled(leaves + 1);

@@ -45,12 +45,7 @@ fn main() {
         }
         row(
             name,
-            &[
-                name.to_string(),
-                format!("{in_stretch}"),
-                format!("{bystander}"),
-                format!("{slow}"),
-            ],
+            &[name.to_string(), format!("{in_stretch}"), format!("{bystander}"), format!("{slow}")],
         );
         assert_eq!(in_stretch, 0, "Lemma 3.5 violated on {name}");
     }

@@ -10,8 +10,12 @@ use radio_sim::{CollisionMode, Graph, NodeId, Simulator};
 
 fn stats(g: &Graph, seed: u64) -> (u32, u32, usize, f64, usize) {
     let mut rng = stream_rng(seed, 0);
-    let (tree, _) =
-        gst::build_gst(g, &[NodeId::new(0)], &mut rng, &gst::BuildConfig::for_nodes(g.node_count()));
+    let (tree, _) = gst::build_gst(
+        g,
+        &[NodeId::new(0)],
+        &mut rng,
+        &gst::BuildConfig::for_nodes(g.node_count()),
+    );
     let stretches = tree.stretches();
     let longest = stretches.iter().map(|s| s.len()).max().unwrap_or(0);
     let avg = stretches.iter().map(|s| s.len()).sum::<usize>() as f64 / stretches.len() as f64;

@@ -7,7 +7,6 @@
 use bench::*;
 use broadcast::multi_message::BatchMode;
 use broadcast::schedule::SlowKey;
-use broadcast::Params;
 use radio_sim::graph::generators;
 
 fn main() {

@@ -20,7 +20,9 @@ fn main() {
             (0..SEEDS).map(|s| run_known_k(&g, &params, s, k, SlowKey::VirtualDistance)).collect();
         let routing: Vec<_> = (0..SEEDS).map(|s| run_routing_k(&g, &params, s, k)).collect();
         let repeat: Vec<_> = (0..SEEDS)
-            .map(|s| baselines::repeat::rounds_estimate(&g, radio_sim::NodeId::new(0), k, &params, s))
+            .map(|s| {
+                baselines::repeat::rounds_estimate(&g, radio_sim::NodeId::new(0), k, &params, s)
+            })
             .collect();
         row(
             &format!("{k}"),

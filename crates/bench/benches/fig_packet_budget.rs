@@ -24,10 +24,7 @@ fn main() {
             "rlnc packet (generation log n)",
             CodedPacket::plaintext(log_n as usize, 0, BitVec::zero(64)).packet_bits(),
         ),
-        (
-            "rlnc packet (FullK k=64)",
-            CodedPacket::plaintext(64, 0, BitVec::zero(64)).packet_bits(),
-        ),
+        ("rlnc packet (FullK k=64)", CodedPacket::plaintext(64, 0, BitVec::zero(64)).packet_bits()),
     ];
     for (name, bits) in rows {
         let verdict = if bits <= b_budget { "ok" } else { "OVER (documented)" };

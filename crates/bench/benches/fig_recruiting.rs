@@ -11,7 +11,10 @@ use radio_sim::rng::stream_rng;
 use radio_sim::{CollisionMode, Simulator};
 
 fn main() {
-    header("E5: recruiting success vs iterations (16 reds, 48 blues, p=0.15)", &["iterations", "recruited %"]);
+    header(
+        "E5: recruiting success vs iterations (16 reds, 48 blues, p=0.15)",
+        &["iterations", "recruited %"],
+    );
     let params = Params::scaled(64);
     for mult in [1u32, 2, 4, 8, 16] {
         let iterations = mult * params.log_n;
@@ -25,13 +28,14 @@ fn main() {
         for seed in 0..8u64 {
             let mut rng = stream_rng(seed, 42);
             let bp = generators::random_bipartite(16, 48, 0.15, &mut rng);
-            let mut sim = Simulator::new(bp.graph.clone(), CollisionMode::NoDetection, seed, |id| {
-                if id.index() < 16 {
-                    RecruitNode::red(cfg, id.raw())
-                } else {
-                    RecruitNode::blue(cfg, id.raw())
-                }
-            });
+            let mut sim =
+                Simulator::new(bp.graph.clone(), CollisionMode::NoDetection, seed, |id| {
+                    if id.index() < 16 {
+                        RecruitNode::red(cfg, id.raw())
+                    } else {
+                        RecruitNode::blue(cfg, id.raw())
+                    }
+                });
             sim.run(u64::from(cfg.total_rounds()));
             recruited += sim.nodes()[16..].iter().filter(|n| n.recruited().is_some()).count();
             total += 48;

@@ -6,7 +6,6 @@
 
 use bench::*;
 use broadcast::multi_message::BatchMode;
-use broadcast::Params;
 use radio_sim::graph::generators;
 
 fn main() {
@@ -21,16 +20,10 @@ fn main() {
         params.ring_width = Some(width);
         let rings = (d + 1).div_ceil(width.max(2));
         let r: Vec<_> = (0..SEEDS).map(|s| run_ghk_single(&g, &params, s)).collect();
-        row(
-            &format!("{width}"),
-            &[format!("{width}"), format!("{rings}"), cell(mean_std(&r))],
-        );
+        row(&format!("{width}"), &[format!("{width}"), format!("{rings}"), cell(mean_std(&r))]);
     }
 
-    header(
-        "E12b: k=6 messages vs batch size with 4-layer rings",
-        &["batch size", "T1.3 rounds"],
-    );
+    header("E12b: k=6 messages vs batch size with 4-layer rings", &["batch size", "T1.3 rounds"]);
     for batch in [2usize, 3, 6] {
         let mut params = bench_params(g.node_count());
         params.ring_width = Some(4);

@@ -20,7 +20,8 @@ fn main() {
     for k in [1usize, 4, 8, 16] {
         let vd: Vec<_> =
             (0..SEEDS).map(|s| run_known_k(&g, &params, s, k, SlowKey::VirtualDistance)).collect();
-        let lv: Vec<_> = (0..SEEDS).map(|s| run_known_k(&g, &params, s, k, SlowKey::Level)).collect();
+        let lv: Vec<_> =
+            (0..SEEDS).map(|s| run_known_k(&g, &params, s, k, SlowKey::Level)).collect();
         row(&format!("{k}"), &[format!("{k}"), cell(mean_std(&vd)), cell(mean_std(&lv))]);
     }
 }

@@ -8,7 +8,6 @@
 //! reported; EXPERIMENTS.md discusses the crossover.
 
 use bench::*;
-use broadcast::Params;
 use broadcast::single_message::broadcast_single;
 use radio_sim::NodeId;
 
@@ -44,7 +43,8 @@ fn main() {
             ],
         );
     }
-    let _ = Params::scaled(1); // keep the import used even if presets change
-    println!("(expect: bcast-phase and GPX slopes ~O(1) per D unit; Decay slope ~log n per D unit;");
+    println!(
+        "(expect: bcast-phase and GPX slopes ~O(1) per D unit; Decay slope ~log n per D unit;"
+    );
     println!(" end-to-end is construction-dominated at simulation scale — see EXPERIMENTS.md E1)");
 }

@@ -4,7 +4,6 @@
 //! with n; Decay picks up a full multiplicative log n on the D term.
 
 use bench::*;
-use broadcast::Params;
 use radio_sim::graph::generators;
 
 fn main() {

@@ -1,6 +1,6 @@
 //! E16 — Lemma 3.4: virtual distances are bounded by 2·⌈log2 n⌉.
 
-use radio_sim::graph::{generators, ceil_log2};
+use radio_sim::graph::{ceil_log2, generators};
 use radio_sim::rng::stream_rng;
 use radio_sim::NodeId;
 
@@ -25,13 +25,7 @@ fn main() {
         );
         let vd = gst::VirtualDistances::compute(&g, &tree);
         let bound = 2 * ceil_log2(g.node_count());
-        println!(
-            "{:>12} | {:>6} | {:>10} | {:>6}",
-            name,
-            g.node_count(),
-            vd.max(),
-            bound
-        );
+        println!("{:>12} | {:>6} | {:>10} | {:>6}", name, g.node_count(), vd.max(), bound);
         assert!(vd.max() <= bound, "Lemma 3.4 violated on {name}");
     }
 }

@@ -3,10 +3,42 @@
 //! Shared measurement utilities for the `fig_*` bench targets, which
 //! regenerate the theorem-derived tables of `DESIGN.md` §2. Each bench
 //! prints a table: rows = swept parameter, columns = algorithms, cells =
-//! mean ± σ of the completion round over a few seeds.
+//! mean ± σ of the completion round over [`SEEDS`] seeds (`FAIL xN` cells
+//! count runs that exhausted [`MAX_ROUNDS`]).
+//!
+//! This crate is also the workspace's *assembly point*: it is the only crate
+//! depending on every other one, so the repo-root `tests/` (end-to-end
+//! integration tests) and `examples/` (scenario walkthroughs) are wired into
+//! it via explicit `[[test]]`/`[[example]]` entries in its `Cargo.toml`.
+//!
+//! ## Layout
+//!
+//! * this library — graph recipes ([`chain_with_n`]), sweep-friendly
+//!   parameters ([`bench_params`]), one `run_*` wrapper per measured
+//!   algorithm, and table formatting ([`header`], [`row`], [`cell`],
+//!   [`mean_std`]);
+//! * `benches/fig_*.rs` — one experiment per file (`harness = false`, plain
+//!   `main`), named after the table it regenerates: e.g. `fig_single_vs_d`
+//!   sweeps diameter for Theorem 1.1 against Decay and CR-style,
+//!   `fig_multi_vs_k` sweeps message count for Theorems 1.2/1.3 against
+//!   routing, `fig_fast_collision_audit` audits the Lemma 3.5 refinement;
+//! * `benches/micro.rs` — criterion microbenchmarks of the GF(2) kernels and
+//!   the simulator round loop.
+//!
+//! ## Running
+//!
+//! ```console
+//! cargo bench --bench fig_single_vs_n   # one table
+//! cargo bench                           # everything (minutes, release-built)
+//! ```
+//!
+//! Measured protocols run under [`bench_params`], which lowers the
+//! construction constants so diameter sweeps finish in seconds; resulting
+//! fallbacks/violations are part of what the tables report, not hidden.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 use broadcast::decay::{DecayBroadcast, DecayMsg};
 use broadcast::multi_message::{broadcast_known, broadcast_unknown, BatchMode};
@@ -106,7 +138,11 @@ pub fn run_decay(g: &Graph, params: &Params, seed: u64) -> Option<u64> {
 pub fn run_cr(g: &Graph, params: &Params, seed: u64) -> Option<u64> {
     let d = diameter(g);
     let mut sim = Simulator::new(g.clone(), CollisionMode::NoDetection, seed, |id| {
-        baselines::cr::CrBroadcast::new(params, d, (id.index() == 0).then_some(baselines::cr::CrMsg(1)))
+        baselines::cr::CrBroadcast::new(
+            params,
+            d,
+            (id.index() == 0).then_some(baselines::cr::CrMsg(1)),
+        )
     });
     sim.run_until(MAX_ROUNDS, |ns| ns.iter().all(baselines::cr::CrBroadcast::is_informed))
 }

@@ -341,8 +341,7 @@ impl GstConstructionNode {
     fn sync(&mut self, ph: &PhaseRef, rng: &mut SmallRng) {
         let prev = self.cursor;
         let same = prev.is_some_and(|p| {
-            (p.boundary, p.rank, p.epoch, p.segment)
-                == (ph.boundary, ph.rank, ph.epoch, ph.segment)
+            (p.boundary, p.rank, p.epoch, p.segment) == (ph.boundary, ph.rank, ph.epoch, ph.segment)
         });
         if same {
             self.cursor = Some(*ph);
@@ -353,8 +352,7 @@ impl GstConstructionNode {
             if let Segment::Part(part) = p.segment {
                 self.finish_part(part, p.rank);
             }
-            let epoch_changed =
-                (p.boundary, p.rank, p.epoch) != (ph.boundary, ph.rank, ph.epoch);
+            let epoch_changed = (p.boundary, p.rank, p.epoch) != (ph.boundary, ph.rank, ph.epoch);
             if epoch_changed && p.epoch.is_some() {
                 // Epoch boundary: temporary pairs dissolve.
                 self.blue_temp = false;
@@ -528,15 +526,10 @@ impl Protocol for GstConstructionNode {
         // Fallback-candidate tracking (blues only care on their boundary).
         if self.is_blue(&ph) {
             match msg {
-                GstMsg::StageIBeacon { red } => {
-                    if self.last_heard_red.is_none_or(|(_, r)| r.is_none()) {
-                        self.last_heard_red = Some((red, None));
-                    }
-                }
-                GstMsg::Recruit(RecruitMsg::Beacon { red, .. }) => {
-                    if self.last_heard_red.is_none_or(|(_, r)| r.is_none()) {
-                        self.last_heard_red = Some((red, None));
-                    }
+                GstMsg::StageIBeacon { red } | GstMsg::Recruit(RecruitMsg::Beacon { red, .. })
+                    if self.last_heard_red.is_none_or(|(_, r)| r.is_none()) =>
+                {
+                    self.last_heard_red = Some((red, None));
                 }
                 GstMsg::RankAnnounce { red, rank } => {
                     self.last_heard_red = Some((red, Some(rank)));
@@ -546,20 +539,18 @@ impl Protocol for GstConstructionNode {
         }
 
         match (ph.segment, msg) {
-            (Segment::Identify, GstMsg::Identify { rank }) => {
-                if self.is_red(&ph) && self.rank.is_none() && rank == ph.rank {
-                    self.red_active = true;
-                }
+            (Segment::Identify, GstMsg::Identify { rank })
+                if self.is_red(&ph) && self.rank.is_none() && rank == ph.rank =>
+            {
+                self.red_active = true;
             }
-            (Segment::StageIa, GstMsg::StageIBeacon { .. }) => {
-                if self.is_open_blue(&ph) && !self.blue_temp {
-                    self.blue_loner = true;
-                }
+            (Segment::StageIa, GstMsg::StageIBeacon { .. })
+                if self.is_open_blue(&ph) && !self.blue_temp =>
+            {
+                self.blue_loner = true;
             }
-            (Segment::StageIb, GstMsg::Loner) => {
-                if self.is_red(&ph) && self.red_active {
-                    self.red_loner_parent = true;
-                }
+            (Segment::StageIb, GstMsg::Loner) if self.is_red(&ph) && self.red_active => {
+                self.red_loner_parent = true;
             }
             (Segment::Part(_), GstMsg::Recruit(m)) => {
                 if let Some(red) = &mut self.red_recruit {
@@ -582,18 +573,16 @@ impl Protocol for GstConstructionNode {
                     }
                 }
             }
-            (Segment::StageIii, GstMsg::RankAnnounce { red, rank }) => {
-                if self.is_blue(&ph) {
-                    if self.parent.is_none() {
-                        // Strictly lower-ranked blues adopt the announcer.
-                        if self.rank.is_some() && self.rank < Some(ph.rank) && !self.blue_temp {
-                            self.parent = Some(red);
-                            self.parent_rank = Some(rank);
-                        }
-                    } else if self.parent == Some(red) {
-                        // Authoritative rank refresh.
+            (Segment::StageIii, GstMsg::RankAnnounce { red, rank }) if self.is_blue(&ph) => {
+                if self.parent.is_none() {
+                    // Strictly lower-ranked blues adopt the announcer.
+                    if self.rank.is_some() && self.rank < Some(ph.rank) && !self.blue_temp {
+                        self.parent = Some(red);
                         self.parent_rank = Some(rank);
                     }
+                } else if self.parent == Some(red) {
+                    // Authoritative rank refresh.
+                    self.parent_rank = Some(rank);
                 }
             }
             _ => {}

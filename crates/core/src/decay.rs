@@ -299,10 +299,8 @@ mod tests {
         let mut sim = Simulator::new(g, CollisionMode::NoDetection, 9, |id| {
             DecayBroadcast::new(&params, (id.index() != 0).then_some(DecayMsg(1)))
         });
-        let informed = sim.run_until(
-            u64::from(params.decay_phase_len()) * 400,
-            |nodes| nodes[0].is_informed(),
-        );
+        let informed = sim
+            .run_until(u64::from(params.decay_phase_len()) * 400, |nodes| nodes[0].is_informed());
         assert!(informed.is_some());
         // Expected phases to inform: <= 8 on average; allow a wide margin.
         let phases = informed.unwrap() / u64::from(params.decay_phase_len()) + 1;

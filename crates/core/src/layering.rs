@@ -156,11 +156,7 @@ mod tests {
         });
         sim.run(d); // exactly D rounds, as the paper promises
         for (i, node) in sim.nodes().iter().enumerate() {
-            assert_eq!(
-                node.level(),
-                Some(truth.level(NodeId::new(i))),
-                "node {i} mislabelled"
-            );
+            assert_eq!(node.level(), Some(truth.level(NodeId::new(i))), "node {i} mislabelled");
         }
     }
 

@@ -53,6 +53,9 @@ pub struct MultiOutcome {
 /// # Panics
 ///
 /// Panics if `messages` is empty or the graph is empty.
+// Every argument is an independent experiment knob the benches sweep; a
+// config struct would just push the same eight names one level down.
+#[allow(clippy::too_many_arguments)]
 pub fn broadcast_known(
     graph: &Graph,
     source: NodeId,
@@ -77,7 +80,8 @@ pub fn broadcast_known(
     let vd = gst::VirtualDistances::compute(graph, &tree);
     let cfg = ScheduleConfig { log_n: params.log_n, slow_key, empty };
     let mut sim = Simulator::new(graph.clone(), CollisionMode::NoDetection, seed, |id| {
-        let node = MmvScheduleNode::new(cfg, SchedLabels::from_gst(&tree, &vd, id), k, payload_bits);
+        let node =
+            MmvScheduleNode::new(cfg, SchedLabels::from_gst(&tree, &vd, id), k, payload_bits);
         if id == source {
             node.with_messages(messages)
         } else {
@@ -228,8 +232,7 @@ impl GhkMultiPlan {
         let vl = VlSchedule::new(params, ring_width.saturating_sub(1).max(1));
         let slack = u64::from(params.window_slack);
         let l = u64::from(params.log_n);
-        let window =
-            slack * (2 * u64::from(ring_width) + 2 * batch_size as u64 * l + 2 * l * l);
+        let window = slack * (2 * u64::from(ring_width) + 2 * batch_size as u64 * l + 2 * l * l);
         let handoff = 2 * slack * l * (batch_size as u64 + 4);
         GhkMultiPlan {
             d_bound,
@@ -544,7 +547,8 @@ impl Protocol for GhkMultiNode {
                 let Some(batch) = self.plan.batch_in_window(window, ring) else {
                     return Action::Listen;
                 };
-                let outer = ring_level == self.plan.ring_width - 1 && ring + 1 < self.plan.ring_count;
+                let outer =
+                    ring_level == self.plan.ring_width - 1 && ring + 1 < self.plan.ring_count;
                 if !outer {
                     return Action::Listen;
                 }
@@ -610,7 +614,9 @@ impl Protocol for GhkMultiNode {
             GhkMultiPhase::Disseminate { offset, .. } => {
                 let Some(active) = self.sched.as_mut() else { return };
                 let mapped = match obs {
-                    Observation::Message(GhkMMsg::Sched { batch, msg }) if batch == active.batch => {
+                    Observation::Message(GhkMMsg::Sched { batch, msg })
+                        if batch == active.batch =>
+                    {
                         Observation::Message(msg)
                     }
                     // Other batches' packets are noise for this node.
@@ -639,9 +645,8 @@ impl Protocol for GhkMultiNode {
                     if b == batch {
                         let klen = self.plan.batch_range(batch).len();
                         let slot = &mut self.batches[batch as usize];
-                        let fec = slot
-                            .fec
-                            .get_or_insert_with(|| Decoder::new(klen, self.payload_bits));
+                        let fec =
+                            slot.fec.get_or_insert_with(|| Decoder::new(klen, self.payload_bits));
                         fec.insert(packet);
                     }
                 }
@@ -730,20 +735,19 @@ mod tests {
         let messages = msgs(5);
         // Use the lower-level API to inspect decoded payloads.
         let mut rng = stream_rng(3, 1000);
-        let (tree, _) = gst::build_gst(&g, &[NodeId::new(0)], &mut rng, &gst::BuildConfig::for_nodes(20));
+        let (tree, _) =
+            gst::build_gst(&g, &[NodeId::new(0)], &mut rng, &gst::BuildConfig::for_nodes(20));
         let vd = gst::VirtualDistances::compute(&g, &tree);
         let cfg = ScheduleConfig::from_params(&params);
         let mut sim = Simulator::new(g.clone(), CollisionMode::NoDetection, 3, |id| {
-            let node =
-                MmvScheduleNode::new(cfg, SchedLabels::from_gst(&tree, &vd, id), 5, 32);
+            let node = MmvScheduleNode::new(cfg, SchedLabels::from_gst(&tree, &vd, id), 5, 32);
             if id.index() == 0 {
                 node.with_messages(&messages)
             } else {
                 node
             }
         });
-        let done =
-            sim.run_until(300_000, |nodes| nodes.iter().all(MmvScheduleNode::is_complete));
+        let done = sim.run_until(300_000, |nodes| nodes.iter().all(MmvScheduleNode::is_complete));
         assert!(done.is_some());
         for n in sim.nodes() {
             assert_eq!(n.decoder().decode().unwrap(), messages);
@@ -754,21 +758,15 @@ mod tests {
     fn unknown_topology_single_ring_full_k() {
         let g = generators::cluster_chain(4, 5);
         let params = Params::scaled(20);
-        let out =
-            broadcast_unknown(&g, NodeId::new(0), &msgs(4), &params, 2, BatchMode::FullK);
-        assert!(
-            out.completion_round.is_some(),
-            "T1.3 failed within {} rounds",
-            out.rounds_budget
-        );
+        let out = broadcast_unknown(&g, NodeId::new(0), &msgs(4), &params, 2, BatchMode::FullK);
+        assert!(out.completion_round.is_some(), "T1.3 failed within {} rounds", out.rounds_budget);
     }
 
     #[test]
     fn unknown_topology_on_grid() {
         let g = generators::grid(5, 5);
         let params = Params::scaled(25);
-        let out =
-            broadcast_unknown(&g, NodeId::new(0), &msgs(6), &params, 3, BatchMode::FullK);
+        let out = broadcast_unknown(&g, NodeId::new(0), &msgs(6), &params, 3, BatchMode::FullK);
         assert!(out.completion_round.is_some());
     }
 
@@ -779,14 +777,8 @@ mod tests {
         let g = generators::cluster_chain(8, 3);
         let mut params = Params::scaled(24);
         params.ring_width = Some(4);
-        let out = broadcast_unknown(
-            &g,
-            NodeId::new(0),
-            &msgs(6),
-            &params,
-            4,
-            BatchMode::Generations(3),
-        );
+        let out =
+            broadcast_unknown(&g, NodeId::new(0), &msgs(6), &params, 4, BatchMode::Generations(3));
         assert!(
             out.completion_round.is_some(),
             "pipelined T1.3 failed within {} rounds",
@@ -815,7 +807,7 @@ mod tests {
     fn batch_ranges_partition_messages() {
         let params = Params::scaled(64);
         let plan = GhkMultiPlan::new(&params, 5, 10, BatchMode::Generations(4));
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for b in 0..plan.batch_count {
             for i in plan.batch_range(b) {
                 assert!(!seen[i], "message {i} in two batches");
@@ -825,4 +817,3 @@ mod tests {
         assert!(seen.iter().all(|&s| s));
     }
 }
-

@@ -175,9 +175,10 @@ mod tests {
 
     #[test]
     fn ring_width_floor_keeps_handoffs_additive() {
-        let p = Params::scaled(1024); // log_n = 10
-        // Small D: the 2·log^2 floor yields a single ring.
+        // log_n = 10. Small D: the 2·log^2 floor yields a single ring.
+        let p = Params::scaled(1024);
         assert_eq!(p.ring_width_for(50), 200);
+
         // Huge D: the paper's D / log^4 takes over.
         assert_eq!(p.ring_width_for(3_000_000), 300);
     }

@@ -115,11 +115,7 @@ impl RecruitConfig {
     pub fn from_params(params: &Params) -> Self {
         let iterations = params.recruit_iterations.max(1);
         let phase_len = params.decay_phase_len();
-        RecruitConfig {
-            iterations,
-            phase_len,
-            density_hold: (iterations / phase_len).max(1),
-        }
+        RecruitConfig { iterations, phase_len, density_hold: (iterations / phase_len).max(1) }
     }
 
     /// Rounds per iteration: beacon + response phase + echo.
@@ -210,7 +206,11 @@ impl RecruitingRed {
             let msg = match (self.heard_first, self.heard_second) {
                 (Some(blue), false) => {
                     self.singles += 1;
-                    RecruitMsg::EchoSingle { red: self.id, blue, multi: self.count_class() == CountClass::Multi }
+                    RecruitMsg::EchoSingle {
+                        red: self.id,
+                        blue,
+                        multi: self.count_class() == CountClass::Multi,
+                    }
                 }
                 (Some(_), true) => {
                     self.any_multi = true;
@@ -319,10 +319,7 @@ impl RecruitingBlue {
                     if rec.parent == red && multi {
                         rec.parent_multi = true;
                     }
-                } else if self.participating
-                    && self.beacon_heard == Some(red)
-                    && blue == self.id
-                {
+                } else if self.participating && self.beacon_heard == Some(red) && blue == self.id {
                     self.recruited = Some(Recruited { parent: red, parent_multi: multi });
                 }
             }
@@ -454,10 +451,7 @@ mod tests {
             recruited += outcomes.iter().filter(|o| o.is_some()).count();
             total += outcomes.len();
         }
-        assert!(
-            recruited * 10 >= total * 9,
-            "only {recruited}/{total} recruited across seeds"
-        );
+        assert!(recruited * 10 >= total * 9, "only {recruited}/{total} recruited across seeds");
     }
 
     #[test]
@@ -491,7 +485,7 @@ mod tests {
         let params = Params::scaled(64);
         for seed in 4..8 {
             let (outcomes, classes, _) = run_recruiting(10, 30, 0.2, seed, &params);
-            let mut actual = vec![0u32; 10];
+            let mut actual = [0u32; 10];
             for outcome in outcomes.iter().flatten() {
                 actual[outcome.parent as usize] += 1;
             }
@@ -514,7 +508,7 @@ mod tests {
         let params = Params::scaled(64);
         for seed in 10..14 {
             let (outcomes, _, _) = run_recruiting(8, 32, 0.3, seed, &params);
-            let mut actual = vec![0u32; 8];
+            let mut actual = [0u32; 8];
             for o in outcomes.iter().flatten() {
                 actual[o.parent as usize] += 1;
             }

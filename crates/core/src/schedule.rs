@@ -406,7 +406,11 @@ mod tests {
 
     #[test]
     fn fast_slot_arithmetic() {
-        let cfg = ScheduleConfig { log_n: 4, slow_key: SlowKey::VirtualDistance, empty: EmptyBehavior::Silent };
+        let cfg = ScheduleConfig {
+            log_n: 4,
+            slow_key: SlowKey::VirtualDistance,
+            empty: EmptyBehavior::Silent,
+        };
         // Period 24; node at level 2, rank 3: slot 2*(2+9) = 22.
         assert!(cfg.fast_slot(22, 2, 3));
         assert!(cfg.fast_slot(46, 2, 3));
@@ -416,7 +420,11 @@ mod tests {
 
     #[test]
     fn slow_prompt_arithmetic() {
-        let cfg = ScheduleConfig { log_n: 4, slow_key: SlowKey::VirtualDistance, empty: EmptyBehavior::Silent };
+        let cfg = ScheduleConfig {
+            log_n: 4,
+            slow_key: SlowKey::VirtualDistance,
+            empty: EmptyBehavior::Silent,
+        };
         // d = 1: prompted at t ≡ 3 (mod 6), t >= 3.
         assert_eq!(cfg.slow_prompt(3, 1), Some(1.0));
         assert_eq!(cfg.slow_prompt(9, 1), Some(0.5));
@@ -430,7 +438,11 @@ mod tests {
 
     #[test]
     fn fast_slots_only_on_even_rounds() {
-        let cfg = ScheduleConfig { log_n: 5, slow_key: SlowKey::VirtualDistance, empty: EmptyBehavior::Silent };
+        let cfg = ScheduleConfig {
+            log_n: 5,
+            slow_key: SlowKey::VirtualDistance,
+            empty: EmptyBehavior::Silent,
+        };
         for t in (1..120).step_by(2) {
             for l in 0..6 {
                 for r in 1..5 {

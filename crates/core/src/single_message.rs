@@ -10,7 +10,7 @@
 //!    innermost layer;
 //! 3. **Parallel per-ring distributed GST construction** — every ring builds
 //!    a GST forest of its induced layering via
-//!    [`GstConstructionNode`](crate::construction::GstConstructionNode);
+//!    [`crate::construction::GstConstructionNode`];
 //!    adjacent rings are interleaved on even/odd rounds
 //!    ([`Slotted`](crate::construction::Slotted)-style), which removes the
 //!    boundary interference the paper leaves implicit;
@@ -199,8 +199,7 @@ impl Ghk1Node {
 
     /// Whether this node holds (or has decoded) the message.
     pub fn has_message(&self) -> bool {
-        self.message.is_some()
-            || self.sched.as_ref().is_some_and(MmvScheduleNode::is_complete)
+        self.message.is_some() || self.sched.as_ref().is_some_and(MmvScheduleNode::is_complete)
     }
 
     /// The message, once held.
@@ -334,8 +333,10 @@ impl Protocol for Ghk1Node {
                 self.harvest();
                 let Some((my_ring, ring_level)) = self.ring else { return Action::Listen };
                 let outer = my_ring == ring && ring_level == self.plan.ring_width - 1;
-                if outer && self.message.is_some() && self.decay.fires(offset, rng) {
-                    return Action::Transmit(Ghk1Msg::Handoff(self.message.expect("checked")));
+                if let Some(m) = self.message {
+                    if outer && self.decay.fires(offset, rng) {
+                        return Action::Transmit(Ghk1Msg::Handoff(m));
+                    }
                 }
                 Action::Listen
             }

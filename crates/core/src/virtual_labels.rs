@@ -192,21 +192,18 @@ impl Protocol for VirtualLabelNode {
         let Some(phase) = self.sched.phase(round) else { return };
         let Observation::Message(msg) = obs else { return };
         match (phase, msg) {
-            (VlPhase::Wave { d, rank, epoch: _, l }, VlMsg::Wave { sender }) => {
+            (VlPhase::Wave { d, rank, epoch: _, l }, VlMsg::Wave { sender })
                 if self.vdist.is_none()
                     && self.labels.level == l + 1
                     && self.labels.rank == rank
                     && self.labels.in_stretch()
-                    && self.labels.parent == Some(sender)
-                {
-                    self.vdist = Some(d + 1);
-                    self.wave_tag = Some((d, rank));
-                }
+                    && self.labels.parent == Some(sender) =>
+            {
+                self.vdist = Some(d + 1);
+                self.wave_tag = Some((d, rank));
             }
-            (VlPhase::Spread { d, .. }, VlMsg::Spread) => {
-                if self.vdist.is_none() {
-                    self.vdist = Some(d + 1);
-                }
+            (VlPhase::Spread { d, .. }, VlMsg::Spread) if self.vdist.is_none() => {
+                self.vdist = Some(d + 1);
             }
             _ => {}
         }
@@ -317,13 +314,25 @@ mod tests {
         let root = VirtualLabelNode::new(
             sched,
             0,
-            GstLabels { level: 0, rank: 2, parent: None, parent_rank: None, has_stretch_child: true },
+            GstLabels {
+                level: 0,
+                rank: 2,
+                parent: None,
+                parent_rank: None,
+                has_stretch_child: true,
+            },
         );
         assert_eq!(root.vdist(), Some(0));
         let other = VirtualLabelNode::new(
             sched,
             1,
-            GstLabels { level: 1, rank: 1, parent: Some(0), parent_rank: Some(2), has_stretch_child: false },
+            GstLabels {
+                level: 1,
+                rank: 1,
+                parent: Some(0),
+                parent_rank: Some(2),
+                has_stretch_child: false,
+            },
         );
         assert_eq!(other.vdist(), None);
     }

@@ -1,7 +1,7 @@
-//! Centralized GST construction (the role of Gasieniec–Peleg–Xin [7]).
+//! Centralized GST construction (the role of Gasieniec–Peleg–Xin \[7\]).
 //!
 //! The paper uses the existence of a GST (for the known-topology results) via
-//! the `O(n^2)`-step centralized construction of [7]. We implement that role
+//! the `O(n^2)`-step centralized construction of \[7\]. We implement that role
 //! as an *omniscient* version of the paper's own Bipartite Assignment
 //! algorithm (Section 2.2.3): the same epoch structure — loner detection,
 //! loner-parents recruiting all their neighbors, a random brisk/lazy split of
@@ -65,11 +65,7 @@ pub fn build_gst(
     assert!(!roots.is_empty(), "at least one root required");
     let n = graph.node_count();
     let layering = graph.bfs_multi(roots);
-    assert_eq!(
-        layering.reachable_count(),
-        n,
-        "every node must be reachable from the root set"
-    );
+    assert_eq!(layering.reachable_count(), n, "every node must be reachable from the root set");
     let layers = layering.layers();
     let max_level = layering.max_level() as usize;
 
@@ -163,9 +159,7 @@ fn assign_boundary(
         while !unassigned.is_empty() && epochs_left > 0 {
             epochs_left -= 1;
             report.epochs += 1;
-            run_epoch(
-                graph, &is_blue, i, &mut unassigned, &mut active, rank, parent, rng,
-            );
+            run_epoch(graph, &is_blue, i, &mut unassigned, &mut active, rank, parent, rng);
         }
 
         // Fallback for the (rare) case the epoch budget ran out.
@@ -179,9 +173,7 @@ fn assign_boundary(
             let chosen = candidates
                 .choose(rng)
                 .copied()
-                .or_else(|| {
-                    graph.neighbors(b).iter().copied().find(|&r| is_red[r.index()])
-                })
+                .or_else(|| graph.neighbors(b).iter().copied().find(|&r| is_red[r.index()]))
                 .expect("blue node has a previous-level neighbor by BFS construction");
             parent[b.index()] = Some(chosen.raw());
             report.fallback_assignments += 1;

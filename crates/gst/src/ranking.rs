@@ -23,15 +23,16 @@ pub fn compute_ranks(parents: &[Option<u32>]) -> Vec<u32> {
     // (max child rank, multiplicity at that max) accumulated per node.
     let mut best = vec![(0u32, 0u32); n];
     let mut ranks = vec![0u32; n];
-    let mut stack: Vec<u32> = (0..n as u32).filter(|&v| pending_children[v as usize] == 0).collect();
+    let mut stack: Vec<u32> =
+        (0..n as u32).filter(|&v| pending_children[v as usize] == 0).collect();
     let mut processed = 0usize;
     while let Some(v) = stack.pop() {
         processed += 1;
         let (max_rank, multiplicity) = best[v as usize];
         ranks[v as usize] = match multiplicity {
-            0 => 1,                 // leaf
-            1 => max_rank,          // unique maximum child rank
-            _ => max_rank + 1,      // tied maximum
+            0 => 1,            // leaf
+            1 => max_rank,     // unique maximum child rank
+            _ => max_rank + 1, // tied maximum
         };
         if let Some(p) = parents[v as usize] {
             let r = ranks[v as usize];

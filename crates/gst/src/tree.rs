@@ -151,9 +151,9 @@ impl Gst {
             }
         }
         let mut children = vec![Vec::new(); n];
-        for v in 0..n {
-            if let Some(p) = parent[v] {
-                children[p as usize].push(NodeId::new(v));
+        for (v, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[*p as usize].push(NodeId::new(v));
             }
         }
         Ok(Gst { level, rank, parent, children })
@@ -202,10 +202,7 @@ impl Gst {
 
     /// The roots, in id order.
     pub fn roots(&self) -> Vec<NodeId> {
-        (0..self.node_count())
-            .filter(|&v| self.parent[v].is_none())
-            .map(NodeId::new)
-            .collect()
+        (0..self.node_count()).filter(|&v| self.parent[v].is_none()).map(NodeId::new).collect()
     }
 
     /// The largest rank in the tree.

@@ -333,9 +333,8 @@ mod tests {
         let g = generators::path(2);
         let mut sim =
             Simulator::new(g, CollisionMode::Detection, 0, |id| Beacon::new(id.index() == 0, 5));
-        let done = sim.run_until(10, |nodes| {
-            nodes.iter().any(|n| n.seen.iter().any(|o| o.is_message()))
-        });
+        let done =
+            sim.run_until(10, |nodes| nodes.iter().any(|n| n.seen.iter().any(|o| o.is_message())));
         assert_eq!(done, Some(1));
     }
 

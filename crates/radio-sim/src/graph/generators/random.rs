@@ -115,7 +115,7 @@ pub(crate) fn connect_components(b: GraphBuilder, rng: &mut impl Rng) -> Graph {
     }
     // Union-find over current components.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut v: usize) -> usize {
+    fn find(parent: &mut [usize], mut v: usize) -> usize {
         while parent[v] != v {
             parent[v] = parent[parent[v]];
             v = parent[v];

@@ -9,7 +9,7 @@ pub mod generators;
 mod traversal;
 
 pub use builder::{GraphBuilder, GraphError};
-pub use traversal::{BfsLayering, Traversal};
+pub use traversal::{BfsLayering, Traversal, UNREACHABLE};
 
 use crate::ids::NodeId;
 use std::fmt;
@@ -103,11 +103,7 @@ impl Graph {
     /// Iterates over each undirected edge once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.node_ids().flat_map(move |u| {
-            self.neighbors(u)
-                .iter()
-                .copied()
-                .filter(move |&v| u < v)
-                .map(move |v| (u, v))
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
         })
     }
 
@@ -172,18 +168,12 @@ mod tests {
 
     #[test]
     fn self_loop_rejected() {
-        assert!(matches!(
-            Graph::from_edges(3, [(1, 1)]),
-            Err(GraphError::SelfLoop { .. })
-        ));
+        assert!(matches!(Graph::from_edges(3, [(1, 1)]), Err(GraphError::SelfLoop { .. })));
     }
 
     #[test]
     fn out_of_bounds_rejected() {
-        assert!(matches!(
-            Graph::from_edges(3, [(0, 3)]),
-            Err(GraphError::NodeOutOfBounds { .. })
-        ));
+        assert!(matches!(Graph::from_edges(3, [(0, 3)]), Err(GraphError::NodeOutOfBounds { .. })));
     }
 
     #[test]

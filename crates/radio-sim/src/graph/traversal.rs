@@ -132,12 +132,7 @@ impl Traversal for Graph {
         if self.node_count() == 0 || !self.is_connected() {
             return None;
         }
-        Some(
-            self.node_ids()
-                .map(|v| self.eccentricity(v))
-                .max()
-                .unwrap_or(0),
-        )
+        Some(self.node_ids().map(|v| self.eccentricity(v)).max().unwrap_or(0))
     }
 
     fn is_connected(&self) -> bool {

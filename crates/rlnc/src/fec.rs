@@ -141,8 +141,7 @@ mod tests {
         // Ring handoff: several boundary nodes encode the same batch; a
         // receiver mixes packets from all of them.
         let msgs = batch(6);
-        let encoders: Vec<FountainEncoder> =
-            (0..3).map(|_| FountainEncoder::new(&msgs)).collect();
+        let encoders: Vec<FountainEncoder> = (0..3).map(|_| FountainEncoder::new(&msgs)).collect();
         let mut rng = SmallRng::seed_from_u64(4);
         let mut dec = FountainDecoder::new(6, 16);
         let mut i = 0;

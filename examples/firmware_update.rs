@@ -18,8 +18,7 @@ fn main() {
     let graph = generators::grid(8, 8); // a warehouse sensor grid
     let params = Params::scaled(graph.node_count());
     let k = 16; // firmware split into 16 packets
-    let image: Vec<BitVec> =
-        (0..k as u64).map(|i| BitVec::from_u64(0xF00D + i * 7, 32)).collect();
+    let image: Vec<BitVec> = (0..k as u64).map(|i| BitVec::from_u64(0xF00D + i * 7, 32)).collect();
     println!("pushing a {k}-packet image to {} sensors", graph.node_count());
 
     let coded = broadcast_known(

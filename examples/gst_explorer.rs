@@ -13,12 +13,8 @@ use radio_sim::NodeId;
 fn main() {
     let graph = generators::cluster_chain(8, 6);
     let mut rng = stream_rng(5, 0);
-    let (tree, report) = build_gst(
-        &graph,
-        &[NodeId::new(0)],
-        &mut rng,
-        &BuildConfig::for_nodes(graph.node_count()),
-    );
+    let (tree, report) =
+        build_gst(&graph, &[NodeId::new(0)], &mut rng, &BuildConfig::for_nodes(graph.node_count()));
     println!(
         "GST over {} nodes: depth {}, max rank {} (bound {}), built in {} epochs",
         graph.node_count(),

@@ -16,12 +16,7 @@ fn main() {
     let mut rng = stream_rng(2024, 0);
     let graph = generators::unit_disk(150, 0.16, &mut rng);
     let d = graph.bfs(NodeId::new(0)).max_level();
-    println!(
-        "network: {} nodes, {} links, diameter {}",
-        graph.node_count(),
-        graph.edge_count(),
-        d
-    );
+    println!("network: {} nodes, {} links, diameter {}", graph.node_count(), graph.edge_count(), d);
 
     let params = Params::scaled(graph.node_count());
     let outcome = broadcast_single(&graph, NodeId::new(0), 0xC0FFEE, &params, 7);

@@ -16,8 +16,7 @@ fn main() {
     let graph = generators::cluster_chain(6, 6);
     let d = graph.bfs(NodeId::new(0)).max_level();
     let params = Params::scaled(graph.node_count());
-    let frames: Vec<BitVec> =
-        (0..8u64).map(|i| BitVec::from_u64(0xBEE0 + i, 32)).collect();
+    let frames: Vec<BitVec> = (0..8u64).map(|i| BitVec::from_u64(0xBEE0 + i, 32)).collect();
     println!(
         "gateway streaming {} frames across {} unknown-topology nodes (D = {d})",
         frames.len(),

@@ -48,14 +48,8 @@ fn unknown_topology_decodes_exact_payloads() {
 fn unknown_topology_with_generations_decodes() {
     let g = generators::grid(4, 4);
     let params = Params::scaled(16);
-    let out = broadcast_unknown(
-        &g,
-        NodeId::new(0),
-        &payloads(6),
-        &params,
-        3,
-        BatchMode::Generations(2),
-    );
+    let out =
+        broadcast_unknown(&g, NodeId::new(0), &payloads(6), &params, 3, BatchMode::Generations(2));
     assert!(out.completion_round.is_some());
 }
 

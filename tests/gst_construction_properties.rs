@@ -71,8 +71,5 @@ fn distributed_construction_structurally_sound_on_random_graphs() {
         nodes_total += g.node_count();
         assert_eq!(sim.nodes().iter().filter(|n| n.stats().orphaned).count(), 0);
     }
-    assert!(
-        soft_total * 20 <= nodes_total,
-        "too many soft violations: {soft_total}/{nodes_total}"
-    );
+    assert!(soft_total * 20 <= nodes_total, "too many soft violations: {soft_total}/{nodes_total}");
 }

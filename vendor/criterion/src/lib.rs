@@ -1,0 +1,198 @@
+//! # criterion (vendored stand-in)
+//!
+//! The build environment is offline, so this crate implements the subset of
+//! [`criterion`](https://docs.rs/criterion) that `benches/micro.rs` uses:
+//! [`Criterion`] with the builder knobs (`sample_size`, `warm_up_time`,
+//! `measurement_time`), [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology (simplified, but honest): each `bench_function` first warms up
+//! for the configured wall-clock budget while calibrating how many iterations
+//! fit in one sample, then takes `sample_size` timed samples and reports the
+//! mean, min, and max time per iteration. There are no plots, no outlier
+//! analysis, and no saved baselines — swap the workspace dependency back to
+//! the registry crate to regain those.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Returns its argument, preventing the optimizer from deleting the
+/// computation that produced it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver: holds timing configuration and runs named benches.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the wall-clock measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run repeatedly, learning the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iter_time = Duration::from_nanos(50);
+        while warm_start.elapsed() < self.warm_up_time {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            if b.iters > 0 && !b.elapsed.is_zero() {
+                iter_time = b.elapsed / b.iters as u32;
+            }
+            if iter_time.is_zero() {
+                iter_time = Duration::from_nanos(1);
+            }
+        }
+
+        // Measurement: sample_size samples, each sized to fill its share of
+        // the measurement budget.
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample =
+            (per_sample.as_nanos() / iter_time.as_nanos().max(1)).clamp(1, u128::from(u32::MAX));
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters: iters_per_sample as u64, elapsed: Duration::ZERO };
+            f(&mut b);
+            per_iter.push(b.elapsed / iters_per_sample as u32);
+        }
+
+        let total: Duration = per_iter.iter().sum();
+        let mean = total / per_iter.len() as u32;
+        let min = per_iter.iter().min().copied().unwrap_or_default();
+        let max = per_iter.iter().max().copied().unwrap_or_default();
+        println!(
+            "{id:<40} time: [{} {} {}]  ({} samples × {} iters)",
+            Nanos(min),
+            Nanos(mean),
+            Nanos(max),
+            self.sample_size,
+            iters_per_sample,
+        );
+        self
+    }
+}
+
+/// Human-scaled duration formatting (ns/µs/ms/s), like criterion's reports.
+struct Nanos(Duration);
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0.as_nanos();
+        if ns < 1_000 {
+            write!(f, "{ns} ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.2} µs", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            write!(f, "{:.2} ms", ns as f64 / 1e6)
+        } else {
+            write!(f, "{:.2} s", ns as f64 / 1e9)
+        }
+    }
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`]; times the
+/// routine under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it as many iterations as this sample asks.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name (both the plain and `name/config/targets` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[doc = concat!("Runs the `", stringify!($name), "` benchmark group.")]
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+    }
+
+    criterion_group! {
+        name = quick;
+        config = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        targets = tiny
+    }
+
+    #[test]
+    fn group_runs() {
+        quick();
+    }
+}

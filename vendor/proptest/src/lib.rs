@@ -1,0 +1,124 @@
+//! # proptest (vendored stand-in)
+//!
+//! The build environment is offline, so this crate implements the small
+//! subset of [`proptest`](https://docs.rs/proptest) the workspace's property
+//! tests use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header);
+//! * range strategies (`8usize..60`, `0.05f64..0.3`, …);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`].
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its inputs (via a drop guard
+//!   that fires while panicking) but is not minimized;
+//! * **deterministic cases** — inputs are derived from the test function's
+//!   name and the case index, so failures reproduce exactly across runs
+//!   rather than using OS entropy (strictly better for CI triage);
+//! * only range strategies are provided, because those are the only
+//!   strategies in use.
+//!
+//! If the real `proptest` becomes available, deleting `vendor/proptest` and
+//! repointing the workspace dependency restores shrinking with no test
+//! changes.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)` body
+/// runs once per case with inputs sampled from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut runner_rng =
+                        $crate::test_runner::case_rng(stringify!($name), u64::from(case));
+                    $(let $arg = $crate::strategy::Strategy::sample_value(
+                        &($strat), &mut runner_rng);)+
+                    let guard = $crate::test_runner::CaseGuard::new(format!(
+                        concat!("proptest case {} of {}: ",
+                                $(stringify!($arg), " = {:?}, ",)+ "(no shrinking)"),
+                        case, stringify!($name), $(&$arg,)+
+                    ));
+                    $body
+                    guard.defuse();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 8usize..60, p in 0.05f64..0.3, seed in 0u64..1000) {
+            prop_assert!((8..60).contains(&n));
+            prop_assert!((0.05..0.3).contains(&p));
+            prop_assert!(seed < 1000);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..10) {
+            prop_assert_ne!(x, 10);
+            prop_assert_eq!(x.min(9), x);
+        }
+    }
+
+    #[test]
+    fn cases_vary_across_indices() {
+        let a = crate::test_runner::case_rng("t", 0);
+        let b = crate::test_runner::case_rng("t", 1);
+        let va = Strategy::sample_value(&(0u64..1_000_000), &mut { a });
+        let vb = Strategy::sample_value(&(0u64..1_000_000), &mut { b });
+        assert_ne!(va, vb);
+    }
+}

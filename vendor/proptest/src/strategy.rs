@@ -1,0 +1,43 @@
+//! Value-generation strategies.
+//!
+//! Only range strategies are provided; they are the only kind the workspace
+//! uses. A strategy is sampled directly (no intermediate value tree, because
+//! there is no shrinking).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A source of random test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one input for a test case.
+    fn sample_value(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn sample_value(&self, rng: &mut SmallRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A strategy that always yields a clone of one value (`proptest::strategy::Just`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample_value(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}

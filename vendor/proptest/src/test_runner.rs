@@ -1,0 +1,66 @@
+//! Test-case configuration and bookkeeping.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// The real crate's default case count.
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Derives the deterministic RNG for one test case. Seeded from the test
+/// name (FNV-1a) and the case index, so every property walks its own
+/// reproducible input sequence.
+pub fn case_rng(test_name: &str, case: u64) -> SmallRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Prints the failing case's inputs if dropped while panicking, standing in
+/// for the real crate's failure persistence (there is no shrinking here).
+#[derive(Debug)]
+pub struct CaseGuard {
+    description: Option<String>,
+}
+
+impl CaseGuard {
+    /// Arms the guard with a description of the current case.
+    pub fn new(description: String) -> Self {
+        CaseGuard { description: Some(description) }
+    }
+
+    /// Disarms the guard; the case passed.
+    pub fn defuse(mut self) {
+        self.description = None;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if let Some(desc) = self.description.take() {
+            if std::thread::panicking() {
+                eprintln!("{desc}");
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! # rand (vendored stand-in)
+//!
+//! The build environment for this workspace is fully offline, so this crate
+//! provides a minimal, deterministic, API-compatible implementation of the
+//! subset of [`rand` 0.8](https://docs.rs/rand/0.8) that the workspace
+//! actually uses:
+//!
+//! * [`RngCore`] / [`Rng`] — `next_u64`, `gen`, `gen_bool`, `gen_range`;
+//! * [`SeedableRng`] — `from_seed` and `seed_from_u64`;
+//! * [`rngs::SmallRng`] — xoshiro256++, the same algorithm real
+//!   `rand 0.8` uses for `SmallRng` on 64-bit platforms;
+//! * [`seq::SliceRandom`] — `choose` and `shuffle`;
+//! * [`distributions`] — the [`distributions::Standard`] distribution for
+//!   `gen()`.
+//!
+//! Determinism is the only hard requirement the simulator places on this
+//! crate: a `SmallRng` seeded with `seed_from_u64(s)` must produce the same
+//! stream on every platform and every run. Statistical quality matters only
+//! to simulation fidelity; xoshiro256++ is more than adequate. Integer
+//! `gen_range` uses straightforward rejection-free reduction (multiply-shift),
+//! which has negligible bias for the range sizes simulations use.
+//!
+//! If the real `rand` crate ever becomes available to the build, deleting
+//! `vendor/rand` and pointing the workspace dependency at the registry is the
+//! only change required.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: a source of `u64`s.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing random value generation, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value via the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        // 53 random mantissa bits, exactly the precision of an f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A random number generator that can be reproducibly seeded.
+pub trait SeedableRng: Sized {
+    /// The fixed-size byte seed.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates the generator from a full-entropy byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates the generator from a `u64`, expanded with SplitMix64 exactly
+    /// as `rand_core` 0.6 does, so seeds mean the same thing they would with
+    /// the real crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // SplitMix64 output function (const from the reference code).
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = (z as u32).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// A range that can produce a uniform sample; implemented for `Range<T>` over
+/// the primitive numeric types.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Multiply-shift reduction of a 64-bit draw onto [0, span).
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + hi) as $ty
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = (rng.next_u64() >> 11) as $ty * (1.0 / (1u64 << 53) as $ty);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a: u64 = SmallRng::seed_from_u64(7).gen();
+        let b: u64 = SmallRng::seed_from_u64(7).gen();
+        let c: u64 = SmallRng::seed_from_u64(8).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "p=0.25 gave {hits}/100000");
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}
