@@ -10,17 +10,22 @@ use radio_sim::graph::generators;
 
 fn main() {
     header(
-        "E12a: single message vs forced ring width (cluster_chain(10,4))",
+        "E12a: single message vs ring width (cluster_chain(10,4), adaptive pipeline)",
         &["ring width", "rings", "GHK-CD rounds"],
     );
     let g = generators::cluster_chain(10, 4);
     let d = diameter(&g);
-    for width in [4u32, 8, 20] {
+    // The adaptive default (no override) plus forced widths: narrow rings
+    // construct in parallel and hand off pay-as-you-go, so the auto row
+    // should win or tie the forced sweeps.
+    let auto_width = bench_params(g.node_count()).adaptive_ring_width(d);
+    for (label, width) in [("auto", None), ("4", Some(4u32)), ("8", Some(8)), ("20", Some(20))] {
         let mut params = bench_params(g.node_count());
-        params.ring_width = Some(width);
-        let rings = (d + 1).div_ceil(width.max(2));
+        params.ring_width = width;
+        let w = width.unwrap_or(auto_width);
+        let rings = (d + 1).div_ceil(w.max(2));
         let r: Vec<_> = (0..SEEDS).map(|s| run_ghk_single(&g, &params, s)).collect();
-        row(&format!("{width}"), &[format!("{width}"), format!("{rings}"), cell(mean_std(&r))]);
+        row(label, &[format!("{w}"), format!("{rings}"), cell(mean_std(&r))]);
     }
 
     header("E12b: k=6 messages vs batch size with 4-layer rings", &["batch size", "T1.3 rounds"]);

@@ -1,11 +1,11 @@
 //! E1 — Theorem 1.1: single-message rounds vs diameter at (roughly) fixed n.
 //!
 //! Paper-predicted shape: Decay grows like D·log n and CR-style like
-//! D·log(n/D). The GHK pipeline's *broadcast phase* grows additively in D
-//! (slope O(1)); its end-to-end cost at simulation scale is dominated by the
-//! one-time GST construction (sequential per ring: D'·log^5 n), which the
-//! paper amortizes with rings + pipelining at paper-scale D. Both columns are
-//! reported; EXPERIMENTS.md discusses the crossover.
+//! D·log(n/D). With *adaptive* phase termination the GHK pipeline's setup
+//! (wave + parallel per-ring GST construction) costs what it actually uses
+//! rather than its worst-case windows, so the end-to-end column is now
+//! competitive at simulation scale; the worst-case cap column shows the
+//! guarantee the run never exceeds.
 
 use bench::*;
 use broadcast::single_message::broadcast_single;
@@ -14,19 +14,20 @@ use radio_sim::NodeId;
 fn main() {
     header(
         "E1: single-message rounds vs D (cluster chains, n ~ 72)",
-        &["D", "GHK end-to-end", "GHK bcast-phase", "Decay (BGI)", "CR-style", "GPX known-topo"],
+        &["D", "GHK end-to-end", "GHK setup", "GHK cap", "Decay (BGI)", "CR-style", "GPX known"],
     );
     for clusters in [4usize, 8, 16] {
         let g = chain_with_n(clusters, 72);
         let params = bench_params(g.node_count());
         let d = diameter(&g);
         let mut e2e: Vec<Option<u64>> = Vec::new();
-        let mut phase: Vec<Option<u64>> = Vec::new();
+        let mut setup: Vec<Option<u64>> = Vec::new();
+        let mut cap = 0u64;
         for s in 0..SEEDS {
             let out = broadcast_single(&g, NodeId::new(0), 1, &params, s);
             e2e.push(out.completion_round);
-            let setup = u64::from(out.plan.d_bound) + out.plan.cons_rounds;
-            phase.push(out.completion_round.map(|r| r.saturating_sub(setup)));
+            setup.push(Some(out.phases.setup()));
+            cap = out.plan.total_rounds();
         }
         let decay: Vec<_> = (0..SEEDS).map(|s| run_decay(&g, &params, s)).collect();
         let cr: Vec<_> = (0..SEEDS).map(|s| run_cr(&g, &params, s)).collect();
@@ -36,15 +37,14 @@ fn main() {
             &[
                 format!("{d}"),
                 cell(mean_std(&e2e)),
-                cell(mean_std(&phase)),
+                cell(mean_std(&setup)),
+                format!("{cap}"),
                 cell(mean_std(&decay)),
                 cell(mean_std(&cr)),
                 cell(mean_std(&gpx)),
             ],
         );
     }
-    println!(
-        "(expect: bcast-phase and GPX slopes ~O(1) per D unit; Decay slope ~log n per D unit;"
-    );
-    println!(" end-to-end is construction-dominated at simulation scale — see EXPERIMENTS.md E1)");
+    println!("(expect: adaptive end-to-end within a small factor of Decay; the cap column");
+    println!(" keeps the O(D + polylog) worst-case shape the theorem guarantees)");
 }

@@ -149,6 +149,44 @@ impl ConstructionSchedule {
         self.max_rank
     }
 
+    /// Rounds of one "`Θ(log n)` phases of Decay" segment.
+    pub fn decay_step(&self) -> u64 {
+        self.decay_step
+    }
+
+    /// Rounds of one recruiting part.
+    pub fn recruit_rounds(&self) -> u64 {
+        self.recruit
+    }
+
+    /// Rounds of one recruiting iteration (beacon + response phase + echo).
+    pub fn recruit_iteration_rounds(&self) -> u64 {
+        2 + u64::from(self.phase_len)
+    }
+
+    /// Epochs per rank subproblem.
+    pub fn epochs(&self) -> u32 {
+        u32::try_from((self.rank - self.decay_step) / self.epoch).expect("fits")
+    }
+
+    /// First round of the `(boundary, rank)` block (its Identify prologue).
+    ///
+    /// Used by the adaptive Theorem 1.1 driver to jump the shared construction
+    /// cursor over quiescent blocks; the plain fixed schedule visits every
+    /// round in order and never needs it.
+    pub fn rank_block_start(&self, boundary: u32, rank: u32) -> u64 {
+        debug_assert!(boundary >= 1 && boundary <= self.d_bound);
+        debug_assert!(rank >= 1 && rank <= self.max_rank);
+        u64::from(self.d_bound - boundary) * self.boundary
+            + u64::from(self.max_rank - rank) * self.rank
+    }
+
+    /// First round of epoch `epoch` within the `(boundary, rank)` block
+    /// (its Stage I single round).
+    pub fn epoch_start(&self, boundary: u32, rank: u32, epoch: u32) -> u64 {
+        self.rank_block_start(boundary, rank) + self.decay_step + u64::from(epoch) * self.epoch
+    }
+
     /// Resolves round `t` to its phase, or `None` once construction is over.
     pub fn phase(&self, t: u64) -> Option<PhaseRef> {
         if t >= self.total_rounds() {
@@ -261,6 +299,10 @@ pub struct GstConstructionNode {
     /// rank when known — the fallback attachment candidate.
     last_heard_red: Option<(u32, Option<u32>)>,
 
+    /// Set when this red activates; drained by the adaptive driver's
+    /// progress probes ([`GstConstructionNode::take_new_activation`]).
+    newly_active: bool,
+
     /// Cached phase for segment-transition detection.
     cursor: Option<PhaseRef>,
     stats: NodeStats,
@@ -288,9 +330,90 @@ impl GstConstructionNode {
             blue_temp: false,
             blue_recruit: None,
             last_heard_red: None,
+            newly_active: false,
             cursor: None,
             stats: NodeStats::default(),
         }
+    }
+
+    /// Drains the "this red activated since the last probe" flag.
+    ///
+    /// Part of the quiescence-probe surface the adaptive Theorem 1.1 pipeline
+    /// uses to cut the Identify prologue short once activations stop.
+    pub fn take_new_activation(&mut self) -> bool {
+        std::mem::take(&mut self.newly_active)
+    }
+
+    /// Runs the end-of-construction epilogue for the block the cursor is in:
+    /// applies a pending recruiting-part result and the unassigned-blue
+    /// fallback (`last_heard_red`).
+    ///
+    /// The fixed schedule reaches the same state lazily — the first executed
+    /// round of any *later* block triggers it through `sync` — but the
+    /// adaptive driver may skip every remaining block, so it calls this on
+    /// each node once the end of the construction phase is announced.
+    pub fn finalize(&mut self) {
+        if let Some(p) = self.cursor.take() {
+            if let Segment::Part(part) = p.segment {
+                self.finish_part(part, p.rank);
+            }
+            self.finish_rank(&p);
+        }
+    }
+
+    /// Probe: is this node an unassigned blue of `(boundary, rank)`?
+    ///
+    /// Unlike [`GstConstructionNode::labels`]-derived checks this also counts
+    /// childless blues that have not yet self-assigned the leaf rank 1 (that
+    /// happens lazily on their first action inside the boundary), so the probe
+    /// is meaningful *before* the block has started.
+    pub fn probe_open_blue(&self, boundary: u32, rank: u32) -> bool {
+        self.level == boundary && self.parent.is_none() && self.rank.unwrap_or(1) == rank
+    }
+
+    /// Probe: an unassigned blue of this boundary with rank strictly below
+    /// `rank` (a potential Stage III adopter).
+    pub fn probe_open_blue_below(&self, boundary: u32, rank: u32) -> bool {
+        self.level == boundary && self.parent.is_none() && self.rank.unwrap_or(1) < rank
+    }
+
+    /// Probe: an *active* red of `boundary`'s rank subproblem.
+    pub fn probe_active_red(&self, boundary: u32) -> bool {
+        self.level + 1 == boundary && self.red_active
+    }
+
+    /// Probe: a red that would participate in recruiting part `part` of the
+    /// current epoch. For part 2 the brisk/lazy coin has not been tossed at
+    /// probe time, so the probe over-approximates with "not a loner-parent";
+    /// the per-iteration [`GstConstructionNode::probe_part_participant`]
+    /// refines it once the part has started.
+    pub fn probe_part_red(&self, boundary: u32, part: u8) -> bool {
+        self.probe_active_red(boundary)
+            && match part {
+                1 => self.red_loner_parent,
+                2 => !self.red_loner_parent,
+                _ => !self.red_loner_parent && !self.red_brisk,
+            }
+    }
+
+    /// Probe: a red actually participating in the running recruiting part.
+    pub fn probe_part_participant(&self) -> bool {
+        self.red_participated
+    }
+
+    /// Probe: a loner blue of `boundary` (Stage Ib has announcements to make).
+    pub fn probe_loner_blue(&self, boundary: u32) -> bool {
+        self.level == boundary && self.blue_loner && !self.blue_temp
+    }
+
+    /// Probe: a blue whose recruiting machine is live but not yet resolved.
+    pub fn probe_unresolved_blue(&self) -> bool {
+        self.blue_recruit.as_ref().is_some_and(|b| b.result().is_none())
+    }
+
+    /// Probe: a red of `boundary` ranked this epoch (Stage III announcer).
+    pub fn probe_newly_ranked_red(&self, boundary: u32) -> bool {
+        self.level + 1 == boundary && self.red_newly_ranked
     }
 
     /// The labels this node has learned; complete once construction finished
@@ -471,6 +594,8 @@ impl GstConstructionNode {
 
 impl Protocol for GstConstructionNode {
     type Msg = GstMsg;
+    // `observe` ignores silence and never draws from the RNG.
+    const SILENCE_IS_NOOP: bool = true;
 
     fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<GstMsg> {
         let Some(ph) = self.sched.phase(round) else {
@@ -542,6 +667,9 @@ impl Protocol for GstConstructionNode {
             (Segment::Identify, GstMsg::Identify { rank })
                 if self.is_red(&ph) && self.rank.is_none() && rank == ph.rank =>
             {
+                if !self.red_active {
+                    self.newly_active = true;
+                }
                 self.red_active = true;
             }
             (Segment::StageIa, GstMsg::StageIBeacon { .. })
@@ -624,6 +752,7 @@ impl<P> Slotted<P> {
 
 impl<P: Protocol> Protocol for Slotted<P> {
     type Msg = P::Msg;
+    const SILENCE_IS_NOOP: bool = P::SILENCE_IS_NOOP;
 
     fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<P::Msg> {
         if round % self.period == self.slot {
@@ -733,6 +862,41 @@ mod tests {
                 violations.len()
             );
         }
+    }
+
+    #[test]
+    fn finalize_applies_pending_fallback() {
+        // A blue mid-block that heard a red but never got assigned must fall
+        // back to it when construction is finalized early — the adaptive
+        // driver's skip path never executes the later rounds that would
+        // trigger the lazy epilogue.
+        let params = Params::scaled(8);
+        let sched = ConstructionSchedule::new(&params, 1);
+        let mut node = GstConstructionNode::new(&params, sched, 7, 1);
+        let mut rng = radio_sim::rng::stream_rng(0, 0);
+        let t = sched.rank_block_start(1, 1);
+        let _ = node.act(t, &mut rng); // enters the block, takes leaf rank 1
+        node.observe(t, Observation::Message(GstMsg::StageIBeacon { red: 3 }), &mut rng);
+        assert_eq!(node.labels().parent, None);
+        node.finalize();
+        assert_eq!(node.labels().parent, Some(3), "fallback must adopt the heard red");
+        assert!(node.stats().fallback_used);
+    }
+
+    #[test]
+    fn finalize_marks_orphans() {
+        // Same skip path, but the blue never heard any red: it must be
+        // counted as orphaned rather than silently left parentless.
+        let params = Params::scaled(8);
+        let sched = ConstructionSchedule::new(&params, 1);
+        let mut node = GstConstructionNode::new(&params, sched, 7, 1);
+        let mut rng = radio_sim::rng::stream_rng(0, 0);
+        let _ = node.act(sched.rank_block_start(1, 1), &mut rng);
+        node.finalize();
+        assert_eq!(node.labels().parent, None);
+        assert!(node.stats().orphaned);
+        // Finalizing twice is a no-op (the cursor is consumed).
+        node.finalize();
     }
 
     #[test]

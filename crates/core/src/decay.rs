@@ -122,6 +122,8 @@ impl DecayBroadcast {
 
 impl Protocol for DecayBroadcast {
     type Msg = DecayMsg;
+    // `observe` reacts to received packets only and never touches the RNG.
+    const SILENCE_IS_NOOP: bool = true;
 
     fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<DecayMsg> {
         match self.message {
@@ -219,6 +221,7 @@ impl MmvDecayBroadcast {
 
 impl Protocol for MmvDecayBroadcast {
     type Msg = MmvDecayMsg;
+    const SILENCE_IS_NOOP: bool = true;
 
     fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<MmvDecayMsg> {
         let Some(p) = self.prompt_probability(round) else {

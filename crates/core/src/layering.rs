@@ -55,6 +55,8 @@ impl CollisionWaveLayering {
 
 impl Protocol for CollisionWaveLayering {
     type Msg = Beep;
+    // Only signals (messages/collisions) matter; silence is a no-op.
+    const SILENCE_IS_NOOP: bool = true;
 
     fn act(&mut self, round: u64, _rng: &mut SmallRng) -> Action<Beep> {
         match self.level {
@@ -122,6 +124,7 @@ impl DecayLayering {
 
 impl Protocol for DecayLayering {
     type Msg = WaveToken;
+    const SILENCE_IS_NOOP: bool = true;
 
     fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<WaveToken> {
         let epoch = round / self.epoch_rounds;

@@ -241,6 +241,8 @@ impl MmvScheduleNode {
 
 impl Protocol for MmvScheduleNode {
     type Msg = SchedMsg;
+    // Silence/self-transmit observations are explicit no-ops in `observe`.
+    const SILENCE_IS_NOOP: bool = true;
 
     fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<SchedMsg> {
         if round % 2 == 0 {

@@ -1,29 +1,61 @@
 //! Single-message broadcast in `O(D + log^6 n)` rounds with collision
-//! detection (Theorem 1.1).
+//! detection (Theorem 1.1) — run **adaptively** with phase-completion
+//! detection.
 //!
-//! The pipeline, exactly as in the paper's proof:
+//! The pipeline follows the paper's proof:
 //!
-//! 1. **Collision-wave layering** (`D` rounds, needs CD) — every node learns
-//!    its BFS distance from the source;
+//! 1. **Collision-wave layering** (needs CD) — every node learns its BFS
+//!    distance from the source;
 //! 2. **Ring decomposition** — layers are grouped into rings of
-//!    [`Params::ring_width_for`] consecutive layers; ring `j`'s roots are its
-//!    innermost layer;
+//!    [`Params::adaptive_ring_width`] consecutive layers; ring `j`'s roots
+//!    are its innermost layer;
 //! 3. **Parallel per-ring distributed GST construction** — every ring builds
 //!    a GST forest of its induced layering via
-//!    [`crate::construction::GstConstructionNode`];
-//!    adjacent rings are interleaved on even/odd rounds
+//!    [`crate::construction::GstConstructionNode`]; adjacent rings are
+//!    interleaved on even/odd rounds
 //!    ([`Slotted`](crate::construction::Slotted)-style), which removes the
 //!    boundary interference the paper leaves implicit;
 //! 4. **Ring-by-ring broadcast** — inside ring `j` the message is broadcast
 //!    atop the GST with the schedule of Section 3.2 specialized to one
 //!    message and keyed on ring-local *levels* (the Gasieniec–Peleg–Xin
-//!    black-box role: `O(D' + log^2 n)` per ring; no virtual distances are
-//!    needed for `k = 1`), then `Θ(log^2 n)` rounds of Decay hand the message
-//!    from ring `j`'s outer boundary to ring `j+1`'s roots.
+//!    black-box role), then Decay hands the message from ring `j`'s outer
+//!    boundary to ring `j+1`'s roots.
 //!
-//! Graphs whose diameter is below `2 log^2 n` use a single ring (the paper's
-//! footnote 7), which is the common case at simulation scale; experiment E12
-//! forces small rings to exercise the multi-ring machinery.
+//! ## Adaptive phase termination
+//!
+//! The paper sizes every phase by its worst-case `Θ(·)` formula and runs the
+//! windows verbatim; a simulation can instead *detect* phase completion and
+//! stop early without weakening the guarantee (the same observation the
+//! optimal-broadcast follow-up, Andriambolamalala–Ravelomanana 2017, uses to
+//! shave its additive term). Completion is signalled **in-model**, on the
+//! radio channel itself: open-ended phases dedicate every
+//! [`Params::beep_interval`]-th round as a *status round* in which exactly
+//! the nodes with pending work transmit a content-free beep
+//! ([`Ghk1Msg::Status`]) —
+//!
+//! * **wave** — a node beeps iff the frontier reached it since the previous
+//!   status round; the phase ends [`Params::quiescence_slack`] silent status
+//!   rounds after the frontier stops advancing;
+//! * **construction** — blues beep while unassigned, reds while active, so
+//!   quiescent rank blocks, epochs and recruiting tails are skipped; the
+//!   phase ends when every ring's forest is quiescent;
+//! * **broadcast / handoff** — a ring node beeps while uninformed; ring
+//!   `j`'s window closes once the ring (in particular its outer boundary) is
+//!   informed, and a handoff ends once ring `j+1`'s roots are informed.
+//!
+//! The driver that advances the shared phase cursor reads *only* the
+//! channel-level outcome of status rounds ("did anybody transmit?"), never
+//! node state or topology — it plays the part of the `O(D)`-round echo /
+//! termination-detection subprotocol such adaptive algorithms run in-band,
+//! with the echo cost folded into the status-round accounting. Nodes learn
+//! the cursor through a shared [`Step`] cell, modelling the outcome of that
+//! same echo; the [`radio_sim::Protocol`] trait stays pure and leaks no
+//! topology.
+//!
+//! The worst case is still enforced: every phase is hard-capped by its
+//! paper-sized window, and [`Ghk1Plan::total_rounds`] (the sum of all caps,
+//! including the status-round overhead, still `O(D + log^6 n)`) bounds any
+//! run — `tests/regression_rounds.rs` asserts it.
 
 use crate::construction::{ConstructionSchedule, GstConstructionNode, GstMsg};
 use crate::decay::DecaySchedule;
@@ -33,9 +65,12 @@ use crate::schedule::{
     EmptyBehavior, MmvScheduleNode, SchedAudit, SchedLabels, SchedMsg, ScheduleConfig, SlowKey,
 };
 use radio_sim::model::PacketBits;
+use radio_sim::trace::{RoundStats, RunStats};
 use radio_sim::{Action, CollisionMode, Graph, NodeId, Observation, Protocol, Simulator};
 use rand::rngs::SmallRng;
 use rlnc::gf2::BitVec;
+use std::cell::Cell;
+use std::rc::Rc;
 
 /// Messages of the Theorem 1.1 pipeline.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -48,23 +83,143 @@ pub enum Ghk1Msg {
     Sched(SchedMsg),
     /// Inter-ring handoff carrying the message payload.
     Handoff(u64),
+    /// Content-free status beep of the adaptive termination protocol.
+    Status,
 }
 
 impl PacketBits for Ghk1Msg {
     fn packet_bits(&self) -> usize {
-        2 + match self {
+        3 + match self {
             Ghk1Msg::Wave(b) => b.packet_bits(),
             Ghk1Msg::Gst(m) => m.packet_bits(),
             Ghk1Msg::Sched(m) => m.packet_bits(),
             Ghk1Msg::Handoff(_) => 64,
+            Ghk1Msg::Status => 0,
         }
     }
 }
 
-/// The static phase plan of the pipeline.
+/// A position inside one pipeline phase — the adaptive counterpart of the
+/// old fixed round partition. Offsets are *virtual*: they count the phase's
+/// own work rounds, excluding interleaved status rounds, so every in-phase
+/// schedule (wave, slotted construction, MMV broadcast, handoff Decay) sees
+/// exactly the round sequence it would under fixed windows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhasePos {
+    /// Collision-wave layering work round.
+    Wave {
+        /// Wave round.
+        offset: u64,
+    },
+    /// Parity-slotted parallel GST construction work round: rings with
+    /// `ring % 2 == offset % 2` run construction round `offset / 2`.
+    Construct {
+        /// Slotted construction round.
+        offset: u64,
+    },
+    /// In-ring broadcast work round of `ring`.
+    Broadcast {
+        /// The active ring.
+        ring: u32,
+        /// Round within the window.
+        offset: u64,
+    },
+    /// Handoff work round from `ring` to `ring + 1`.
+    Handoff {
+        /// The transmitting ring.
+        ring: u32,
+        /// Round within the window.
+        offset: u64,
+    },
+}
+
+/// What a status round asks: a node transmits a beep iff the predicate holds
+/// for it. Construction probes address ring-local boundaries/ranks, so one
+/// probe covers every ring at once (the rings share the cursor).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Probe {
+    /// Wave phase: "did the frontier reach you since the last status round?"
+    WaveProgress,
+    /// Construction: "are you an unassigned blue of this `(boundary, rank)`?"
+    OpenBlue {
+        /// Ring-local blue level.
+        boundary: u32,
+        /// Rank subproblem.
+        rank: u32,
+    },
+    /// Construction: "an unassigned blue of rank strictly below `rank`?"
+    /// (a potential Stage III adopter).
+    OpenBlueBelow {
+        /// Ring-local blue level.
+        boundary: u32,
+        /// Rank subproblem.
+        rank: u32,
+    },
+    /// Construction: "an active red of this boundary?"
+    ActiveRed {
+        /// Ring-local blue level.
+        boundary: u32,
+    },
+    /// Construction: "did you activate since the last status round?"
+    NewActivation,
+    /// Construction: "a loner blue with a Stage Ib announcement pending?"
+    LonerBlue {
+        /// Ring-local blue level.
+        boundary: u32,
+    },
+    /// Construction: "a red that would participate in recruiting `part`?"
+    PartRed {
+        /// Ring-local blue level.
+        boundary: u32,
+        /// Recruiting part 1–3.
+        part: u8,
+    },
+    /// Construction: "a red actually participating in the running part?"
+    PartParticipant,
+    /// Construction: "a blue whose recruiting run is still unresolved?"
+    UnresolvedBlue,
+    /// Construction: "a red ranked this epoch (Stage III announcer)?"
+    NewlyRanked {
+        /// Ring-local blue level.
+        boundary: u32,
+    },
+    /// Broadcast window: "a node of `ring` still missing the message?"
+    RingUninformed {
+        /// The ring whose window is open.
+        ring: u32,
+    },
+    /// Handoff window: "a root of `ring` still missing the message?"
+    RootsUninformed {
+        /// The *receiving* ring.
+        ring: u32,
+    },
+}
+
+/// The shared per-round directive: what kind of round the pipeline is in.
+///
+/// All nodes observe the same status-round transcript (via the idealized
+/// echo, see the module docs), so they all hold the same cursor; the cell
+/// materializes that shared knowledge without touching the `Protocol` trait.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Before the first round.
+    Idle,
+    /// A work round of the current phase.
+    Work(PhasePos),
+    /// A status round probing for pending work.
+    Status(Probe),
+}
+
+/// Shared handle to the pipeline's current [`Step`].
+pub type StepCell = Rc<Cell<Step>>;
+
+/// The worst-case phase budgets of the pipeline — the adaptive run's hard
+/// caps. [`Ghk1Plan::total_rounds`] is the guaranteed-completion bound of
+/// Theorem 1.1 (with the paper's `Θ(·)` constants instantiated by
+/// [`Params`], plus the `1/beep_interval` status-round overhead).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Ghk1Plan {
-    /// Diameter bound `D` (wave rounds).
+    /// Diameter bound `D`.
     pub d_bound: u32,
     /// Ring width in layers.
     pub ring_width: u32,
@@ -72,97 +227,63 @@ pub struct Ghk1Plan {
     pub ring_count: u32,
     /// Per-ring construction schedule (ring-local levels `0..ring_width`).
     pub cons: ConstructionSchedule,
-    /// Rounds of the (2-slotted) construction phase.
+    /// Cap on the wave phase (work + status rounds).
+    pub wave_budget: u64,
+    /// Cap on construction *work* rounds (2-slotted; rings in parallel).
     pub cons_rounds: u64,
-    /// Rounds of one in-ring broadcast window.
+    /// Cap on construction *status* rounds.
+    pub cons_status: u64,
+    /// Cap on one in-ring broadcast window (work + status rounds).
     pub bcast_window: u64,
-    /// Rounds of one inter-ring handoff window.
+    /// Cap on one inter-ring handoff window (work + status rounds).
     pub handoff_window: u64,
-}
-
-/// Phases of the pipeline.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Ghk1Phase {
-    /// Collision-wave layering.
-    Wave {
-        /// Round within the wave.
-        offset: u64,
-    },
-    /// Parallel slotted GST construction.
-    Construct {
-        /// Round within the phase.
-        offset: u64,
-    },
-    /// In-ring broadcast window of `ring`.
-    Broadcast {
-        /// The active ring.
-        ring: u32,
-        /// Round within the window.
-        offset: u64,
-    },
-    /// Handoff from `ring` to `ring + 1`.
-    Handoff {
-        /// The transmitting ring.
-        ring: u32,
-        /// Round within the window.
-        offset: u64,
-    },
-    /// Pipeline finished.
-    Done,
 }
 
 impl Ghk1Plan {
     /// Builds the plan for diameter bound `d_bound` under `params`.
     pub fn new(params: &Params, d_bound: u32) -> Self {
         let d_bound = d_bound.max(1);
-        let ring_width = params.ring_width_for(d_bound).min(d_bound + 1);
+        let ring_width = params.adaptive_ring_width(d_bound).min(d_bound + 1);
         let ring_count = (d_bound + 1).div_ceil(ring_width);
         let cons = ConstructionSchedule::new(params, ring_width - 1);
         let slack = u64::from(params.window_slack);
+        let beep = u64::from(params.beep_interval.max(1));
         let l2 = u64::from(params.log_n) * u64::from(params.log_n);
+        let d = u64::from(d_bound);
+
+        // Status rounds the construction driver can spend per rank block:
+        // one rank-skip probe, one per Identify phase, and per epoch the
+        // open-blue / active-red / loner probes, per-part gates plus one
+        // probe per recruiting iteration, and the two Stage III gates.
+        let iterations = u64::from(params.recruit_iterations.max(1));
+        let per_epoch_status = 5 + 3 * (1 + iterations);
+        let per_rank_status =
+            1 + u64::from(params.decay_phases) + u64::from(cons.epochs()) * per_epoch_status;
+        let cons_status = u64::from(cons.d_bound) * u64::from(params.max_rank()) * per_rank_status;
+
+        let bcast_work = slack * (2 * u64::from(ring_width) + 2 * l2);
+        let handoff_work = slack * l2;
         Ghk1Plan {
             d_bound,
             ring_width,
             ring_count,
             cons,
+            wave_budget: d + d / beep + beep + u64::from(params.quiescence_slack) + 4,
             cons_rounds: 2 * cons.total_rounds(),
-            bcast_window: slack * (2 * u64::from(ring_width) + 2 * l2),
-            handoff_window: slack * l2,
+            cons_status,
+            bcast_window: bcast_work + bcast_work / beep + 2,
+            handoff_window: handoff_work + handoff_work / beep + 2,
         }
     }
 
-    /// Total pipeline rounds.
+    /// Total worst-case pipeline rounds — the hard cap every adaptive run
+    /// respects.
     pub fn total_rounds(&self) -> u64 {
-        u64::from(self.d_bound)
+        self.wave_budget
             + self.cons_rounds
+            + self.cons_status
             + u64::from(self.ring_count) * self.bcast_window
             + u64::from(self.ring_count.saturating_sub(1)) * self.handoff_window
-    }
-
-    /// Resolves round `t` to its phase.
-    pub fn phase(&self, t: u64) -> Ghk1Phase {
-        let mut t = t;
-        if t < u64::from(self.d_bound) {
-            return Ghk1Phase::Wave { offset: t };
-        }
-        t -= u64::from(self.d_bound);
-        if t < self.cons_rounds {
-            return Ghk1Phase::Construct { offset: t };
-        }
-        t -= self.cons_rounds;
-        let cycle = self.bcast_window + self.handoff_window;
-        let ring = u32::try_from(t / cycle).expect("fits");
-        if ring >= self.ring_count {
-            return Ghk1Phase::Done;
-        }
-        let in_cycle = t % cycle;
-        if in_cycle < self.bcast_window {
-            Ghk1Phase::Broadcast { ring, offset: in_cycle }
-        } else if ring + 1 < self.ring_count {
-            Ghk1Phase::Handoff { ring, offset: in_cycle - self.bcast_window }
-        } else {
-            Ghk1Phase::Done
-        }
     }
 }
 
@@ -172,7 +293,10 @@ pub struct Ghk1Node {
     id: u32,
     params: Params,
     plan: Ghk1Plan,
+    step: StepCell,
     wave: CollisionWaveLayering,
+    /// Frontier reached this node since the last wave status round.
+    wave_dirty: bool,
     /// Ring index and ring-local level, known after the wave.
     ring: Option<(u32, u32)>,
     cons: Option<GstConstructionNode>,
@@ -182,13 +306,22 @@ pub struct Ghk1Node {
 }
 
 impl Ghk1Node {
-    /// A pipeline node; the source holds `message`.
-    pub fn new(params: &Params, plan: Ghk1Plan, id: u32, message: Option<u64>) -> Self {
+    /// A pipeline node; the source holds `message`. All nodes of one run
+    /// share the `step` cell (the materialized phase cursor).
+    pub fn new(
+        params: &Params,
+        plan: Ghk1Plan,
+        step: StepCell,
+        id: u32,
+        message: Option<u64>,
+    ) -> Self {
         Ghk1Node {
             id,
             params: params.clone(),
             plan,
+            step,
             wave: CollisionWaveLayering::new(message.is_some()),
+            wave_dirty: false,
             ring: None,
             cons: None,
             sched: None,
@@ -263,6 +396,14 @@ impl Ghk1Node {
         }
     }
 
+    /// Applies the construction epilogue once the phase is announced over
+    /// (pending recruiting-part results + the unassigned-blue fallback).
+    fn finalize_construction(&mut self) {
+        if let Some(c) = self.cons.as_mut() {
+            c.finalize();
+        }
+    }
+
     fn ensure_sched(&mut self) {
         if self.sched.is_none() {
             if let (Some(cons), Some((_, _))) = (&self.cons, self.ring) {
@@ -288,18 +429,63 @@ impl Ghk1Node {
             }
         }
     }
+
+    /// Answers a status-round probe: `true` = transmit a beep.
+    fn probe(&mut self, probe: Probe) -> bool {
+        match probe {
+            Probe::WaveProgress => std::mem::take(&mut self.wave_dirty),
+            Probe::RingUninformed { ring } => {
+                self.ensure_ring();
+                self.ring.is_some_and(|(r, _)| r == ring) && !self.has_message()
+            }
+            Probe::RootsUninformed { ring } => {
+                self.ensure_ring();
+                self.ring == Some((ring, 0)) && !self.has_message()
+            }
+            cons_probe => {
+                self.ensure_cons();
+                let Some(c) = self.cons.as_mut() else { return false };
+                match cons_probe {
+                    Probe::OpenBlue { boundary, rank } => c.probe_open_blue(boundary, rank),
+                    Probe::OpenBlueBelow { boundary, rank } => {
+                        c.probe_open_blue_below(boundary, rank)
+                    }
+                    Probe::ActiveRed { boundary } => c.probe_active_red(boundary),
+                    Probe::NewActivation => c.take_new_activation(),
+                    Probe::LonerBlue { boundary } => c.probe_loner_blue(boundary),
+                    Probe::PartRed { boundary, part } => c.probe_part_red(boundary, part),
+                    Probe::PartParticipant => c.probe_part_participant(),
+                    Probe::UnresolvedBlue => c.probe_unresolved_blue(),
+                    Probe::NewlyRanked { boundary } => c.probe_newly_ranked_red(boundary),
+                    _ => unreachable!("non-construction probes handled above"),
+                }
+            }
+        }
+    }
 }
 
 impl Protocol for Ghk1Node {
     type Msg = Ghk1Msg;
 
-    fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<Ghk1Msg> {
-        match self.plan.phase(round) {
-            Ghk1Phase::Wave { offset } => match self.wave.act(offset, rng) {
+    // Every sub-protocol this node routes observations into already ignores
+    // silence, and status rounds ignore everything non-transmitted.
+    const SILENCE_IS_NOOP: bool = true;
+
+    fn act(&mut self, _round: u64, rng: &mut SmallRng) -> Action<Ghk1Msg> {
+        match self.step.get() {
+            Step::Idle => Action::Listen,
+            Step::Status(probe) => {
+                if self.probe(probe) {
+                    Action::Transmit(Ghk1Msg::Status)
+                } else {
+                    Action::Listen
+                }
+            }
+            Step::Work(PhasePos::Wave { offset }) => match self.wave.act(offset, rng) {
                 Action::Transmit(b) => Action::Transmit(Ghk1Msg::Wave(b)),
                 Action::Listen => Action::Listen,
             },
-            Ghk1Phase::Construct { offset } => {
+            Step::Work(PhasePos::Construct { offset }) => {
                 self.ensure_cons();
                 let Some((ring, _)) = self.ring else { return Action::Listen };
                 if offset % 2 != u64::from(ring % 2) {
@@ -310,7 +496,7 @@ impl Protocol for Ghk1Node {
                     Action::Listen => Action::Listen,
                 }
             }
-            Ghk1Phase::Broadcast { ring, offset } => {
+            Step::Work(PhasePos::Broadcast { ring, offset }) => {
                 self.ensure_sched();
                 let Some((my_ring, _)) = self.ring else { return Action::Listen };
                 if my_ring != ring {
@@ -329,7 +515,7 @@ impl Protocol for Ghk1Node {
                     Action::Listen => Action::Listen,
                 }
             }
-            Ghk1Phase::Handoff { ring, offset } => {
+            Step::Work(PhasePos::Handoff { ring, offset }) => {
                 self.harvest();
                 let Some((my_ring, ring_level)) = self.ring else { return Action::Listen };
                 let outer = my_ring == ring && ring_level == self.plan.ring_width - 1;
@@ -340,25 +526,26 @@ impl Protocol for Ghk1Node {
                 }
                 Action::Listen
             }
-            Ghk1Phase::Done => {
-                self.harvest();
-                Action::Listen
-            }
         }
     }
 
-    fn observe(&mut self, round: u64, obs: Observation<Ghk1Msg>, rng: &mut SmallRng) {
-        match self.plan.phase(round) {
-            Ghk1Phase::Wave { offset } => {
+    fn observe(&mut self, _round: u64, obs: Observation<Ghk1Msg>, rng: &mut SmallRng) {
+        match self.step.get() {
+            Step::Idle | Step::Status(_) => {}
+            Step::Work(PhasePos::Wave { offset }) => {
                 let mapped = match obs {
                     Observation::Message(Ghk1Msg::Wave(b)) => Observation::Message(b),
                     Observation::Collision => Observation::Collision,
                     Observation::SelfTransmit => Observation::SelfTransmit,
                     _ => Observation::Silence,
                 };
+                let was_layered = self.wave.level().is_some();
                 self.wave.observe(offset, mapped, rng);
+                if !was_layered && self.wave.level().is_some() {
+                    self.wave_dirty = true;
+                }
             }
-            Ghk1Phase::Construct { offset } => {
+            Step::Work(PhasePos::Construct { offset }) => {
                 let Some((ring, _)) = self.ring else { return };
                 if offset % 2 != u64::from(ring % 2) {
                     return;
@@ -373,7 +560,7 @@ impl Protocol for Ghk1Node {
                     c.observe(offset / 2, mapped, rng);
                 }
             }
-            Ghk1Phase::Broadcast { ring, offset } => {
+            Step::Work(PhasePos::Broadcast { ring, offset }) => {
                 let Some((my_ring, _)) = self.ring else { return };
                 if my_ring != ring {
                     return;
@@ -388,7 +575,7 @@ impl Protocol for Ghk1Node {
                     s.observe(offset, mapped, rng);
                 }
             }
-            Ghk1Phase::Handoff { ring, .. } => {
+            Step::Work(PhasePos::Handoff { ring, .. }) => {
                 let Some((my_ring, ring_level)) = self.ring else { return };
                 if my_ring == ring + 1 && ring_level == 0 && self.message.is_none() {
                     if let Observation::Message(Ghk1Msg::Handoff(m)) = obs {
@@ -396,8 +583,36 @@ impl Protocol for Ghk1Node {
                     }
                 }
             }
-            Ghk1Phase::Done => {}
         }
+    }
+}
+
+/// Round accounting of one adaptive run, by phase. Work counters tally the
+/// rounds actually spent inside each phase; `status` tallies every dedicated
+/// beep round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseRounds {
+    /// Collision-wave work rounds.
+    pub wave: u64,
+    /// Construction work rounds (2-slotted).
+    pub construct: u64,
+    /// In-ring broadcast work rounds, summed over rings.
+    pub broadcast: u64,
+    /// Inter-ring handoff work rounds, summed over handoffs.
+    pub handoff: u64,
+    /// Status-beep rounds, all phases.
+    pub status: u64,
+}
+
+impl PhaseRounds {
+    /// Total rounds executed.
+    pub fn total(&self) -> u64 {
+        self.wave + self.construct + self.broadcast + self.handoff + self.status
+    }
+
+    /// One-time setup cost (layering + GST construction work rounds).
+    pub fn setup(&self) -> u64 {
+        self.wave + self.construct
     }
 }
 
@@ -406,15 +621,311 @@ impl Protocol for Ghk1Node {
 pub struct Ghk1Outcome {
     /// Round at which every node held the message, `None` on failure.
     pub completion_round: Option<u64>,
-    /// The plan that was executed.
+    /// The executed plan (worst-case caps).
     pub plan: Ghk1Plan,
+    /// Rounds actually spent, by phase.
+    pub phases: PhaseRounds,
+    /// Channel statistics of the run.
+    pub stats: RunStats,
     /// Aggregated schedule audit.
     pub audit: SchedAudit,
     /// Nodes that used the construction fallback.
     pub fallbacks: usize,
 }
 
-/// Runs Theorem 1.1 end to end on `graph` from `source`.
+/// The adaptive pipeline driver: owns the simulator and the shared phase
+/// cursor, advances phases on status-round quiescence, and hard-caps every
+/// phase at its [`Ghk1Plan`] budget.
+struct Driver {
+    sim: Simulator<Ghk1Node>,
+    step: StepCell,
+    plan: Ghk1Plan,
+    beep: u64,
+    quiescence_slack: u32,
+    cons_status_left: u64,
+    phases: PhaseRounds,
+    completion: Option<u64>,
+}
+
+impl Driver {
+    fn exec(&mut self, step: Step) -> RoundStats {
+        self.step.set(step);
+        let stats = self.sim.step();
+        if self.completion.is_none() && self.sim.nodes().iter().all(Ghk1Node::has_message) {
+            self.completion = Some(self.sim.round());
+        }
+        stats
+    }
+
+    fn done(&self) -> bool {
+        self.completion.is_some()
+    }
+
+    /// Runs one status round; `true` iff the channel stayed silent.
+    fn quiet(&mut self, probe: Probe) -> bool {
+        self.phases.status += 1;
+        self.exec(Step::Status(probe)).transmitters == 0
+    }
+
+    /// A construction status round, charged against the construction status
+    /// budget; `None` once the budget is exhausted (caller must bail out).
+    fn cons_quiet(&mut self, probe: Probe) -> Option<bool> {
+        if self.cons_status_left == 0 {
+            return None;
+        }
+        self.cons_status_left -= 1;
+        Some(self.quiet(probe))
+    }
+
+    /// Runs `len` slotted construction rounds starting at (unslotted)
+    /// schedule round `start`: two simulator rounds per schedule round, one
+    /// per ring parity.
+    fn cons_run(&mut self, start: u64, len: u64) {
+        for o in start..start + len {
+            for parity in 0..2u64 {
+                self.exec(Step::Work(PhasePos::Construct { offset: 2 * o + parity }));
+                self.phases.construct += 1;
+            }
+        }
+    }
+
+    /// Phase 2: parallel per-ring GST construction with quiescence skipping.
+    /// Rank blocks with no open blues are skipped outright; Identify ends
+    /// when activations stop; epochs end when every blue is assigned or no
+    /// red is active; recruiting parts end when no red participates or every
+    /// blue's run resolved; Stage Ib/III run only when they have announcers
+    /// (and, for Stage III, adopters).
+    fn construct(&mut self) {
+        let cons = self.plan.cons;
+        let iteration = cons.recruit_iteration_rounds();
+        let iterations = cons.recruit_rounds() / iteration;
+        let phase_len = u64::from(cons.phase_len());
+        let ident_phases = cons.decay_step() / phase_len.max(1);
+        for boundary in (1..=cons.d_bound).rev() {
+            for rank in (1..=cons.max_rank()).rev() {
+                if self.done() {
+                    return;
+                }
+                match self.cons_quiet(Probe::OpenBlue { boundary, rank }) {
+                    Some(true) => continue, // no open blues anywhere: skip block
+                    Some(false) => {}
+                    None => return,
+                }
+                // Identify prologue, phase by phase until activations stop.
+                let block = cons.rank_block_start(boundary, rank);
+                for ph in 0..ident_phases {
+                    self.cons_run(block + ph * phase_len, phase_len);
+                    match self.cons_quiet(Probe::NewActivation) {
+                        Some(true) => break,
+                        Some(false) => {}
+                        None => return,
+                    }
+                }
+                for epoch in 0..cons.epochs() {
+                    match self.cons_quiet(Probe::OpenBlue { boundary, rank }) {
+                        Some(true) => break, // every blue assigned
+                        Some(false) => {}
+                        None => return,
+                    }
+                    match self.cons_quiet(Probe::ActiveRed { boundary }) {
+                        Some(true) => break, // no red left to assign them
+                        Some(false) => {}
+                        None => return,
+                    }
+                    let e0 = cons.epoch_start(boundary, rank, epoch);
+                    self.cons_run(e0, 1); // Stage Ia beacons
+                    match self.cons_quiet(Probe::LonerBlue { boundary }) {
+                        Some(true) => {} // no loners: skip Stage Ib
+                        Some(false) => self.cons_run(e0 + 1, cons.decay_step()),
+                        None => return,
+                    }
+                    for part in 1..=3u8 {
+                        match self.cons_quiet(Probe::PartRed { boundary, part }) {
+                            Some(true) => continue, // no reds for this part
+                            Some(false) => {}
+                            None => return,
+                        }
+                        let p0 = e0
+                            + 1
+                            + cons.decay_step()
+                            + u64::from(part - 1) * cons.recruit_rounds();
+                        for i in 0..iterations {
+                            self.cons_run(p0 + i * iteration, iteration);
+                            let probe =
+                                if i == 0 { Probe::PartParticipant } else { Probe::UnresolvedBlue };
+                            match self.cons_quiet(probe) {
+                                Some(true) => break,
+                                Some(false) => {}
+                                None => return,
+                            }
+                        }
+                    }
+                    // Stage III runs only with announcers *and* adopters.
+                    match self.cons_quiet(Probe::NewlyRanked { boundary }) {
+                        Some(true) => continue,
+                        Some(false) => {}
+                        None => return,
+                    }
+                    match self.cons_quiet(Probe::OpenBlueBelow { boundary, rank }) {
+                        Some(true) => continue,
+                        Some(false) => {}
+                        None => return,
+                    }
+                    self.cons_run(
+                        e0 + 1 + cons.decay_step() + 3 * cons.recruit_rounds(),
+                        cons.decay_step(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// One adaptive open-ended window: `beep_interval` work rounds, one
+    /// status round, until the probe has stayed quiet for
+    /// `quiescence_slack` consecutive status rounds or `budget` (work +
+    /// status rounds) is exhausted. The wave, broadcast and handoff phases
+    /// all share this loop.
+    fn window(
+        &mut self,
+        budget: u64,
+        probe: Probe,
+        mut work: impl FnMut(u64) -> PhasePos,
+        count: fn(&mut PhaseRounds) -> &mut u64,
+    ) {
+        let slack = self.quiescence_slack.max(1);
+        let mut offset = 0u64;
+        let mut spent = 0u64;
+        let mut quiet_streak = 0u32;
+        while spent < budget && !self.done() {
+            for _ in 0..self.beep {
+                if spent >= budget || self.done() {
+                    return;
+                }
+                self.exec(Step::Work(work(offset)));
+                *count(&mut self.phases) += 1;
+                offset += 1;
+                spent += 1;
+            }
+            if spent >= budget || self.done() {
+                return;
+            }
+            spent += 1;
+            if self.quiet(probe) {
+                quiet_streak += 1;
+                if quiet_streak >= slack {
+                    return;
+                }
+            } else {
+                quiet_streak = 0;
+            }
+        }
+    }
+
+    fn run(mut self) -> Ghk1Outcome {
+        if self.sim.nodes().iter().all(Ghk1Node::has_message) {
+            self.completion = Some(0);
+        }
+        if !self.done() {
+            // Phase 1: the collision wave, closed `quiescence_slack` silent
+            // status rounds after the frontier stops advancing.
+            self.window(
+                self.plan.wave_budget,
+                Probe::WaveProgress,
+                |offset| PhasePos::Wave { offset },
+                |p| &mut p.wave,
+            );
+        }
+        if !self.done() {
+            self.construct();
+        }
+        // End-of-construction echo: every node runs its local block epilogue
+        // (pending recruiting results + unassigned-blue fallback). The fixed
+        // schedule reaches this state lazily through later blocks' rounds;
+        // the adaptive driver may have skipped those blocks entirely.
+        for i in 0..self.sim.nodes().len() {
+            self.sim.node_mut(NodeId::new(i)).finalize_construction();
+        }
+        for ring in 0..self.plan.ring_count {
+            if self.done() {
+                break;
+            }
+            self.window(
+                self.plan.bcast_window,
+                Probe::RingUninformed { ring },
+                |offset| PhasePos::Broadcast { ring, offset },
+                |p| &mut p.broadcast,
+            );
+            if ring + 1 < self.plan.ring_count && !self.done() {
+                self.window(
+                    self.plan.handoff_window,
+                    Probe::RootsUninformed { ring: ring + 1 },
+                    |offset| PhasePos::Handoff { ring, offset },
+                    |p| &mut p.handoff,
+                );
+            }
+        }
+
+        let mut audit = SchedAudit::default();
+        let mut fallbacks = 0;
+        for n in self.sim.nodes() {
+            let a = n.audit();
+            audit.fast_collisions_bystander += a.fast_collisions_bystander;
+            audit.fast_collisions_in_stretch += a.fast_collisions_in_stretch;
+            audit.slow_collisions += a.slow_collisions;
+            if n.construction_stats().is_some_and(|s| s.fallback_used) {
+                fallbacks += 1;
+            }
+        }
+        Ghk1Outcome {
+            completion_round: self.completion,
+            plan: self.plan,
+            phases: self.phases,
+            stats: self.sim.stats().clone(),
+            audit,
+            fallbacks,
+        }
+    }
+}
+
+/// Runs Theorem 1.1 end to end on `graph` from `source` under the given
+/// collision mode (the theorem needs [`CollisionMode::Detection`]; the
+/// no-detection mode exists for determinism and ablation tests — the wave
+/// stalls on dense graphs there, and the run reports `None`).
+///
+/// # Panics
+///
+/// Panics if the graph is empty.
+pub fn broadcast_single_in_mode(
+    graph: &Graph,
+    source: NodeId,
+    payload: u64,
+    params: &Params,
+    seed: u64,
+    mode: CollisionMode,
+) -> Ghk1Outcome {
+    use radio_sim::graph::Traversal;
+    assert!(graph.node_count() > 0, "graph must be non-empty");
+    let d = graph.bfs(source).max_level();
+    let plan = Ghk1Plan::new(params, d.max(1));
+    let step: StepCell = Rc::new(Cell::new(Step::Idle));
+    let sim = Simulator::new(graph.clone(), mode, seed, |id| {
+        Ghk1Node::new(params, plan, Rc::clone(&step), id.raw(), (id == source).then_some(payload))
+    });
+    Driver {
+        sim,
+        step,
+        plan,
+        beep: u64::from(params.beep_interval.max(1)),
+        quiescence_slack: params.quiescence_slack,
+        cons_status_left: plan.cons_status,
+        phases: PhaseRounds::default(),
+        completion: None,
+    }
+    .run()
+}
+
+/// Runs Theorem 1.1 end to end on `graph` from `source` (with collision
+/// detection, as the theorem requires).
 ///
 /// # Panics
 ///
@@ -426,27 +937,7 @@ pub fn broadcast_single(
     params: &Params,
     seed: u64,
 ) -> Ghk1Outcome {
-    use radio_sim::graph::Traversal;
-    assert!(graph.node_count() > 0, "graph must be non-empty");
-    let d = graph.bfs(source).max_level();
-    let plan = Ghk1Plan::new(params, d.max(1));
-    let mut sim = Simulator::new(graph.clone(), CollisionMode::Detection, seed, |id| {
-        Ghk1Node::new(params, plan, id.raw(), (id == source).then_some(payload))
-    });
-    let completion_round =
-        sim.run_until(plan.total_rounds() + 1, |nodes| nodes.iter().all(Ghk1Node::has_message));
-    let mut audit = SchedAudit::default();
-    let mut fallbacks = 0;
-    for n in sim.nodes() {
-        let a = n.audit();
-        audit.fast_collisions_bystander += a.fast_collisions_bystander;
-        audit.fast_collisions_in_stretch += a.fast_collisions_in_stretch;
-        audit.slow_collisions += a.slow_collisions;
-        if n.construction_stats().is_some_and(|s| s.fallback_used) {
-            fallbacks += 1;
-        }
-    }
-    Ghk1Outcome { completion_round, plan, audit, fallbacks }
+    broadcast_single_in_mode(graph, source, payload, params, seed, CollisionMode::Detection)
 }
 
 #[cfg(test)]
@@ -458,12 +949,19 @@ mod tests {
     fn check_completes(g: Graph, seed: u64) -> Ghk1Outcome {
         let params = Params::scaled(g.node_count());
         let out = broadcast_single(&g, NodeId::new(0), 0xDADA, &params, seed);
+        let done = out.completion_round.unwrap_or_else(|| {
+            panic!(
+                "broadcast did not complete within {} rounds (plan {:?})",
+                out.plan.total_rounds(),
+                out.plan
+            )
+        });
         assert!(
-            out.completion_round.is_some(),
-            "broadcast did not complete within {} rounds (plan {:?})",
-            out.plan.total_rounds(),
-            out.plan
+            done <= out.plan.total_rounds(),
+            "completion {done} exceeds the worst-case cap {}",
+            out.plan.total_rounds()
         );
+        assert_eq!(out.phases.total(), out.stats.rounds, "phase accounting must match the run");
         out
     }
 
@@ -511,24 +1009,40 @@ mod tests {
     }
 
     #[test]
-    fn plan_phases_partition_rounds() {
+    fn adaptive_run_is_far_below_the_cap() {
+        // The whole point of adaptivity: actual rounds ≪ worst-case budget.
+        let out = check_completes(generators::cluster_chain(10, 5), 7);
+        let done = out.completion_round.unwrap();
+        assert!(
+            done * 10 <= out.plan.total_rounds(),
+            "adaptive run ({done}) should be at least 10x below the cap ({})",
+            out.plan.total_rounds()
+        );
+        assert!(out.phases.status > 0, "no status rounds were spent");
+    }
+
+    #[test]
+    fn phase_budgets_compose_into_the_cap() {
         let params = Params::scaled(64);
+        let plan = Ghk1Plan::new(&params, 10);
+        assert!(plan.wave_budget >= 10, "wave budget must cover D rounds");
+        assert_eq!(
+            plan.total_rounds(),
+            plan.wave_budget
+                + plan.cons_rounds
+                + plan.cons_status
+                + u64::from(plan.ring_count) * plan.bcast_window
+                + u64::from(plan.ring_count - 1) * plan.handoff_window
+        );
+
         let mut p2 = params.clone();
         p2.ring_width = Some(3);
-        let plan = Ghk1Plan::new(&p2, 10);
-        assert!(plan.ring_count > 1);
-        let mut seen_handoff = false;
-        let mut seen_bcast = vec![false; plan.ring_count as usize];
-        for t in 0..plan.total_rounds() {
-            match plan.phase(t) {
-                Ghk1Phase::Broadcast { ring, .. } => seen_bcast[ring as usize] = true,
-                Ghk1Phase::Handoff { .. } => seen_handoff = true,
-                _ => {}
-            }
-        }
-        assert!(seen_handoff);
-        assert!(seen_bcast.iter().all(|&b| b));
-        assert_eq!(plan.phase(plan.total_rounds()), Ghk1Phase::Done);
+        let plan2 = Ghk1Plan::new(&p2, 10);
+        assert!(plan2.ring_count > 1);
+        assert!(
+            plan2.cons_rounds < plan.cons_rounds || plan.ring_count > 1,
+            "narrow rings must shrink the (parallel) construction budget"
+        );
     }
 
     #[test]
@@ -537,5 +1051,17 @@ mod tests {
         let params = Params::scaled(1);
         let out = broadcast_single(&g, NodeId::new(0), 1, &params, 0);
         assert_eq!(out.completion_round, Some(0));
+    }
+
+    #[test]
+    fn no_detection_mode_reports_failure_not_panic() {
+        // Without CD the wave jams on this diamond; the pipeline must cap
+        // out gracefully.
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let params = Params::scaled(4);
+        let out =
+            broadcast_single_in_mode(&g, NodeId::new(0), 1, &params, 0, CollisionMode::NoDetection);
+        assert!(out.completion_round.is_none());
+        assert!(out.phases.total() <= out.plan.total_rounds());
     }
 }

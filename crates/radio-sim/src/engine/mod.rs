@@ -22,10 +22,30 @@ pub trait Protocol {
     /// Packet type carried on the channel.
     type Msg: Clone;
 
+    /// Declares that [`Protocol::observe`] is a no-op for
+    /// [`Observation::Silence`] and [`Observation::SelfTransmit`]: it neither
+    /// changes state nor draws from the RNG for those observations.
+    ///
+    /// When `true`, the engine takes a *sparse* fast path that resolves the
+    /// channel by iterating only the active transmitters' out-edges and skips
+    /// the `O(n)` per-round observe sweep — nodes that would have observed
+    /// silence (and transmitters, which would observe `SelfTransmit`) are not
+    /// called at all. Rounds where almost everyone is silent then cost
+    /// `O(active)` instead of `O(n)` on the observe side, which dominates the
+    /// near-silent tail rounds of adaptive broadcast runs.
+    ///
+    /// [`RoundStats`]/[`RunStats`] are identical on both paths; the skipped
+    /// calls are reported in [`RoundStats::observe_skips`].
+    const SILENCE_IS_NOOP: bool = false;
+
     /// Chooses this node's action for `round` (0-based).
     fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<Self::Msg>;
 
     /// Delivers the channel observation for `round`.
+    ///
+    /// If [`Protocol::SILENCE_IS_NOOP`] is `true`, this may not be called for
+    /// `Silence`/`SelfTransmit` observations — implementations opting in must
+    /// not rely on seeing them.
     fn observe(&mut self, round: u64, obs: Observation<Self::Msg>, rng: &mut SmallRng);
 }
 
@@ -52,6 +72,8 @@ pub struct Simulator<P: Protocol> {
     tx_from: Vec<u32>,
     transmitted: Vec<bool>,
     txs: Vec<(NodeId, P::Msg)>,
+    /// Nodes whose channel counter was touched this round (sparse path).
+    touched: Vec<u32>,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -78,6 +100,7 @@ impl<P: Protocol> Simulator<P> {
             tx_from: vec![0; n],
             transmitted: vec![false; n],
             txs: Vec::new(),
+            touched: Vec::new(),
         }
     }
 
@@ -107,9 +130,14 @@ impl<P: Protocol> Simulator<P> {
             probe(round, &self.txs);
         }
 
-        // Resolve the channel: count transmitting neighbors per node.
+        // Resolve the channel: count transmitting neighbors per node,
+        // remembering which counters were touched for the sparse reset.
+        self.touched.clear();
         for (t_idx, (sender, _)) in self.txs.iter().enumerate() {
             for &v in self.graph.neighbors(*sender) {
+                if self.tx_count[v.index()] == 0 {
+                    self.touched.push(v.index() as u32);
+                }
                 self.tx_count[v.index()] += 1;
                 self.tx_from[v.index()] = t_idx as u32;
             }
@@ -117,15 +145,19 @@ impl<P: Protocol> Simulator<P> {
 
         let mut rstats = RoundStats { transmitters: self.txs.len(), ..RoundStats::default() };
 
-        for i in 0..n {
-            let obs = if self.transmitted[i] {
-                Observation::SelfTransmit
-            } else {
-                match self.tx_count[i] {
-                    0 => {
-                        rstats.silent += 1;
-                        Observation::Silence
-                    }
+        if P::SILENCE_IS_NOOP {
+            // Sparse fast path: only nodes with a transmitting neighbor can
+            // observe anything that matters; everyone else (silent listeners,
+            // and transmitters with their `SelfTransmit`) is skipped. The
+            // protocol has declared those observations no-ops.
+            let mut heard = 0usize;
+            for idx in 0..self.touched.len() {
+                let i = self.touched[idx] as usize;
+                if self.transmitted[i] {
+                    continue;
+                }
+                heard += 1;
+                let obs = match self.tx_count[i] {
                     1 => {
                         rstats.deliveries += 1;
                         Observation::Message(self.txs[self.tx_from[i] as usize].1.clone())
@@ -138,16 +170,42 @@ impl<P: Protocol> Simulator<P> {
                             Observation::Silence
                         }
                     }
-                }
-            };
-            self.nodes[i].observe(round, obs, &mut self.rngs[i]);
+                };
+                self.nodes[i].observe(round, obs, &mut self.rngs[i]);
+            }
+            rstats.silent = n - self.txs.len() - heard;
+            rstats.observe_skips = n - heard;
+        } else {
+            for i in 0..n {
+                let obs = if self.transmitted[i] {
+                    Observation::SelfTransmit
+                } else {
+                    match self.tx_count[i] {
+                        0 => {
+                            rstats.silent += 1;
+                            Observation::Silence
+                        }
+                        1 => {
+                            rstats.deliveries += 1;
+                            Observation::Message(self.txs[self.tx_from[i] as usize].1.clone())
+                        }
+                        _ => {
+                            rstats.collisions += 1;
+                            if self.mode.has_detection() {
+                                Observation::Collision
+                            } else {
+                                Observation::Silence
+                            }
+                        }
+                    }
+                };
+                self.nodes[i].observe(round, obs, &mut self.rngs[i]);
+            }
         }
 
         // Sparse reset of the counters touched this round.
-        for (sender, _) in &self.txs {
-            for &v in self.graph.neighbors(*sender) {
-                self.tx_count[v.index()] = 0;
-            }
+        for &v in &self.touched {
+            self.tx_count[v as usize] = 0;
         }
 
         self.round += 1;
@@ -409,6 +467,85 @@ mod tests {
         };
         assert_eq!(run(123), run(123));
         assert_ne!(run(123), run(124));
+    }
+
+    /// A decay-ish transmitter that records every packet/collision it hears;
+    /// generic over the sparse-path opt-in so both engine paths can run the
+    /// same logic and be compared.
+    #[derive(Debug)]
+    struct NoisyListener<const SPARSE: bool> {
+        rate_num: u32,
+        heard: Vec<(u64, Option<u8>)>, // (round, Some(packet) | None = collision)
+    }
+
+    impl<const SPARSE: bool> Protocol for NoisyListener<SPARSE> {
+        type Msg = u8;
+        const SILENCE_IS_NOOP: bool = SPARSE;
+        fn act(&mut self, _round: u64, rng: &mut SmallRng) -> Action<u8> {
+            use rand::Rng;
+            if rng.gen_bool(f64::from(self.rate_num) / 10.0) {
+                Action::Transmit(self.rate_num as u8)
+            } else {
+                Action::Listen
+            }
+        }
+        fn observe(&mut self, round: u64, obs: Observation<u8>, _rng: &mut SmallRng) {
+            match obs {
+                Observation::Message(m) => self.heard.push((round, Some(m))),
+                Observation::Collision => self.heard.push((round, None)),
+                Observation::Silence | Observation::SelfTransmit => {}
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_path_matches_dense_path() {
+        type Heard = Vec<Vec<(u64, Option<u8>)>>;
+        fn run<const SPARSE: bool>(mode: CollisionMode) -> (Heard, RunStats) {
+            let g = generators::cluster_chain(5, 4);
+            let mut sim = Simulator::new(g, mode, 99, |id| NoisyListener::<SPARSE> {
+                rate_num: id.raw() % 4,
+                heard: vec![],
+            });
+            sim.run(200);
+            let stats = sim.stats().clone();
+            (sim.into_nodes().into_iter().map(|n| n.heard).collect(), stats)
+        }
+        for mode in [CollisionMode::Detection, CollisionMode::NoDetection] {
+            let (dense_heard, dense_stats) = run::<false>(mode);
+            let (sparse_heard, sparse_stats) = run::<true>(mode);
+            assert_eq!(dense_heard, sparse_heard, "observations diverge under {mode:?}");
+            assert_eq!(
+                (dense_stats.rounds, dense_stats.transmissions, dense_stats.deliveries),
+                (sparse_stats.rounds, sparse_stats.transmissions, sparse_stats.deliveries),
+            );
+            assert_eq!(dense_stats.collisions, sparse_stats.collisions);
+            assert_eq!(dense_stats.observe_skips, 0, "dense path must not skip");
+            assert!(sparse_stats.observe_skips > 0, "sparse path never engaged");
+        }
+    }
+
+    #[test]
+    fn sparse_round_stats_match_dense() {
+        // Per-round stats (incl. `silent`) must be identical on both paths.
+        let g = generators::star(8);
+        let mut dense = Simulator::new(g.clone(), CollisionMode::Detection, 7, |id| {
+            NoisyListener::<false> { rate_num: id.raw() % 3, heard: vec![] }
+        });
+        let mut sparse =
+            Simulator::new(g, CollisionMode::Detection, 7, |id| NoisyListener::<true> {
+                rate_num: id.raw() % 3,
+                heard: vec![],
+            });
+        for _ in 0..100 {
+            let d = dense.step();
+            let s = sparse.step();
+            assert_eq!(
+                (d.transmitters, d.deliveries, d.collisions, d.silent),
+                (s.transmitters, s.deliveries, s.collisions, s.silent)
+            );
+            assert_eq!(s.observe_skips, 8 - d.deliveries - d.collisions);
+        }
     }
 
     #[test]

@@ -14,6 +14,9 @@ pub struct RoundStats {
     pub collisions: usize,
     /// Listeners that heard silence.
     pub silent: usize,
+    /// Observe calls skipped by the sparse fast path
+    /// (see `Protocol::SILENCE_IS_NOOP`); 0 on the dense path.
+    pub observe_skips: usize,
 }
 
 /// Aggregated statistics over a whole run.
@@ -27,6 +30,8 @@ pub struct RunStats {
     pub deliveries: u64,
     /// Total collision observations (pre-mode mapping).
     pub collisions: u64,
+    /// Total observe calls skipped by the sparse fast path.
+    pub observe_skips: u64,
 }
 
 impl RunStats {
@@ -36,6 +41,7 @@ impl RunStats {
         self.transmissions += r.transmitters as u64;
         self.deliveries += r.deliveries as u64;
         self.collisions += r.collisions as u64;
+        self.observe_skips += r.observe_skips as u64;
     }
 
     /// Deliveries per transmission — a utilization figure of merit.
@@ -68,8 +74,20 @@ mod tests {
     #[test]
     fn absorb_accumulates() {
         let mut run = RunStats::default();
-        run.absorb(RoundStats { transmitters: 3, deliveries: 2, collisions: 1, silent: 0 });
-        run.absorb(RoundStats { transmitters: 1, deliveries: 1, collisions: 0, silent: 4 });
+        run.absorb(RoundStats {
+            transmitters: 3,
+            deliveries: 2,
+            collisions: 1,
+            silent: 0,
+            observe_skips: 0,
+        });
+        run.absorb(RoundStats {
+            transmitters: 1,
+            deliveries: 1,
+            collisions: 0,
+            silent: 4,
+            observe_skips: 0,
+        });
         assert_eq!(run.rounds, 2);
         assert_eq!(run.transmissions, 4);
         assert_eq!(run.deliveries, 3);
@@ -80,7 +98,13 @@ mod tests {
     fn delivery_ratio_handles_zero() {
         assert_eq!(RunStats::default().delivery_ratio(), 0.0);
         let mut run = RunStats::default();
-        run.absorb(RoundStats { transmitters: 4, deliveries: 2, collisions: 0, silent: 0 });
+        run.absorb(RoundStats {
+            transmitters: 4,
+            deliveries: 2,
+            collisions: 0,
+            silent: 0,
+            observe_skips: 0,
+        });
         assert!((run.delivery_ratio() - 0.5).abs() < 1e-12);
     }
 

@@ -1,6 +1,7 @@
 //! Emergency alert: one message must reach a whole city-scale mesh fast.
-//! Compares the paper's collision-detection broadcast (Theorem 1.1) against
-//! the classical Decay baseline on a high-diameter network.
+//! Compares the paper's collision-detection broadcast (Theorem 1.1), run
+//! adaptively with phase-completion detection, against the classical Decay
+//! baseline on a high-diameter network.
 //!
 //! ```sh
 //! cargo run --release --example emergency_alert
@@ -20,9 +21,13 @@ fn main() {
     println!("corridor mesh: {} radios, diameter {}", graph.node_count(), d);
 
     let ghk = broadcast_single(&graph, NodeId::new(0), 0xA1E57, &params, 1);
+    let ghk_rounds = ghk.completion_round.expect("alert delivered");
     println!(
-        "GHK with collision detection: {:?} rounds",
-        ghk.completion_round.expect("alert delivered")
+        "GHK-CD (adaptive T1.1):  {ghk_rounds} rounds \
+         (worst-case cap {}, {} rings, phases {:?})",
+        ghk.plan.total_rounds(),
+        ghk.plan.ring_count,
+        ghk.phases,
     );
 
     let mut sim = Simulator::new(graph.clone(), CollisionMode::NoDetection, 1, |id| {
@@ -31,9 +36,12 @@ fn main() {
     let decay = sim
         .run_until(5_000_000, |ns| ns.iter().all(DecayBroadcast::is_informed))
         .expect("alert delivered");
-    println!("BGI Decay (no CD):            {decay} rounds");
+    println!("BGI Decay (no CD):       {decay} rounds");
+
+    let ratio = ghk_rounds as f64 / decay.max(1) as f64;
     println!(
-        "collision detection pays off once D is large: {}x fewer rounds",
-        decay / ghk.completion_round.unwrap().max(1)
+        "adaptive GHK-CD lands at {ratio:.1}x Decay on this mesh (fixed windows needed ~41,000x);\n\
+         its worst-case guarantee stays O(D + polylog): cap/actual = {:.0}x headroom",
+        ghk.plan.total_rounds() as f64 / ghk_rounds as f64
     );
 }

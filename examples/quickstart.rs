@@ -24,12 +24,13 @@ fn main() {
     match outcome.completion_round {
         Some(round) => println!(
             "message delivered to all {} nodes in {} rounds \
-             ({} rings, {} in-stretch fast collisions)",
+             ({} rings, worst-case cap {}, {} in-stretch fast collisions)",
             graph.node_count(),
             round,
             outcome.plan.ring_count,
+            outcome.plan.total_rounds(),
             outcome.audit.fast_collisions_in_stretch,
         ),
-        None => println!("broadcast did not finish within the plan budget"),
+        None => println!("broadcast did not finish within the worst-case cap"),
     }
 }

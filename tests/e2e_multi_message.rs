@@ -1,9 +1,10 @@
-//! End-to-end Theorems 1.2/1.3: every node decodes the exact payloads.
+//! End-to-end Theorems 1.2/1.3: every node decodes the exact payloads,
+//! swept over a seed × topology matrix (failures name the exact cell).
 
 use broadcast::multi_message::{broadcast_unknown, BatchMode, GhkMultiNode, GhkMultiPlan};
 use broadcast::schedule::{EmptyBehavior, SlowKey};
 use broadcast::Params;
-use radio_sim::graph::{generators, Traversal};
+use radio_sim::graph::{generators, Graph, Traversal};
 use radio_sim::{CollisionMode, NodeId, Simulator};
 use rlnc::gf2::BitVec;
 
@@ -11,21 +12,28 @@ fn payloads(k: usize) -> Vec<BitVec> {
     (0..k as u64).map(|i| BitVec::from_u64(i * 11 + 3, 24)).collect()
 }
 
+fn known_topologies() -> Vec<(&'static str, Graph)> {
+    vec![("grid", generators::grid(5, 5)), ("cluster_chain", generators::cluster_chain(4, 5))]
+}
+
 #[test]
 fn known_topology_decodes_exact_payloads() {
-    let g = generators::grid(5, 5);
-    let params = Params::scaled(25);
-    let out = broadcast::multi_message::broadcast_known(
-        &g,
-        NodeId::new(0),
-        &payloads(6),
-        &params,
-        1,
-        SlowKey::VirtualDistance,
-        EmptyBehavior::Silent,
-        1_000_000,
-    );
-    assert!(out.completion_round.is_some());
+    for (name, g) in known_topologies() {
+        let params = Params::scaled(g.node_count());
+        for seed in 0..3u64 {
+            let out = broadcast::multi_message::broadcast_known(
+                &g,
+                NodeId::new(0),
+                &payloads(6),
+                &params,
+                seed,
+                SlowKey::VirtualDistance,
+                EmptyBehavior::Silent,
+                1_000_000,
+            );
+            assert!(out.completion_round.is_some(), "topology {name} seed {seed}: timed out");
+        }
+    }
 }
 
 #[test]
@@ -34,13 +42,19 @@ fn unknown_topology_decodes_exact_payloads() {
     let params = Params::scaled(20);
     let msgs = payloads(4);
     let d = g.bfs(NodeId::new(0)).max_level();
-    let plan = GhkMultiPlan::new(&params, d, 4, BatchMode::FullK);
-    let mut sim = Simulator::new(g.clone(), CollisionMode::Detection, 2, |id| {
-        GhkMultiNode::new(&params, plan, id.raw(), 24, (id.index() == 0).then(|| msgs.clone()))
-    });
-    sim.run(plan.total_rounds() + 1);
-    for (i, n) in sim.nodes().iter().enumerate() {
-        assert_eq!(n.messages().as_deref(), Some(&msgs[..]), "node {i} decoded wrong payloads");
+    for seed in [2u64, 5, 11] {
+        let plan = GhkMultiPlan::new(&params, d, 4, BatchMode::FullK);
+        let mut sim = Simulator::new(g.clone(), CollisionMode::Detection, seed, |id| {
+            GhkMultiNode::new(&params, plan, id.raw(), 24, (id.index() == 0).then(|| msgs.clone()))
+        });
+        sim.run(plan.total_rounds() + 1);
+        for (i, n) in sim.nodes().iter().enumerate() {
+            assert_eq!(
+                n.messages().as_deref(),
+                Some(&msgs[..]),
+                "seed {seed}: node {i} decoded wrong payloads"
+            );
+        }
     }
 }
 
@@ -48,9 +62,17 @@ fn unknown_topology_decodes_exact_payloads() {
 fn unknown_topology_with_generations_decodes() {
     let g = generators::grid(4, 4);
     let params = Params::scaled(16);
-    let out =
-        broadcast_unknown(&g, NodeId::new(0), &payloads(6), &params, 3, BatchMode::Generations(2));
-    assert!(out.completion_round.is_some());
+    for seed in 0..3u64 {
+        let out = broadcast_unknown(
+            &g,
+            NodeId::new(0),
+            &payloads(6),
+            &params,
+            seed,
+            BatchMode::Generations(2),
+        );
+        assert!(out.completion_round.is_some(), "seed {seed}: generations run timed out");
+    }
 }
 
 #[test]
@@ -58,15 +80,17 @@ fn mmv_noise_mode_still_completes() {
     // Lemma 3.3 stress: empty-decoder nodes transmit noise.
     let g = generators::cluster_chain(4, 4);
     let params = Params::scaled(16);
-    let out = broadcast::multi_message::broadcast_known(
-        &g,
-        NodeId::new(0),
-        &payloads(4),
-        &params,
-        4,
-        SlowKey::VirtualDistance,
-        EmptyBehavior::Noise,
-        1_000_000,
-    );
-    assert!(out.completion_round.is_some());
+    for seed in [4u64, 7] {
+        let out = broadcast::multi_message::broadcast_known(
+            &g,
+            NodeId::new(0),
+            &payloads(4),
+            &params,
+            seed,
+            SlowKey::VirtualDistance,
+            EmptyBehavior::Noise,
+            1_000_000,
+        );
+        assert!(out.completion_round.is_some(), "seed {seed}: noise-mode run timed out");
+    }
 }

@@ -1,0 +1,95 @@
+//! Round-count regression pins for the adaptive Theorem 1.1 pipeline.
+//!
+//! Each scenario pins `broadcast_single` to an explicit round *budget*
+//! (roughly 2x the worst completion round observed over 10 master seeds at
+//! the time the budget was set), so a future change that silently degrades
+//! the adaptive pipeline's constants fails tier-1 instead of passing. The
+//! budgets are orders of magnitude below the worst-case caps — that gap *is*
+//! the adaptivity win — and every run is also asserted against the cap
+//! itself, `Ghk1Plan::total_rounds()`, which the paper guarantees.
+
+use broadcast::decay::{DecayBroadcast, DecayMsg};
+use broadcast::single_message::{broadcast_single, Ghk1Outcome};
+use broadcast::Params;
+use radio_sim::graph::generators;
+use radio_sim::rng::stream_rng;
+use radio_sim::{CollisionMode, Graph, NodeId, Simulator};
+
+/// Runs the pipeline and enforces both the regression budget and the
+/// worst-case cap, reporting the failing seed.
+fn assert_within_budget(name: &str, g: &Graph, seeds: std::ops::Range<u64>, budget: u64) {
+    let params = Params::scaled(g.node_count());
+    for seed in seeds {
+        let out: Ghk1Outcome = broadcast_single(g, NodeId::new(0), 0xBEEF, &params, seed);
+        let done = out.completion_round.unwrap_or_else(|| {
+            panic!("{name} seed {seed}: no completion within cap {}", out.plan.total_rounds())
+        });
+        assert!(
+            done <= budget,
+            "{name} seed {seed}: {done} rounds exceeds the regression budget {budget} \
+             (phases: {:?})",
+            out.phases
+        );
+        assert!(
+            done <= out.plan.total_rounds(),
+            "{name} seed {seed}: {done} rounds exceeds the worst-case cap {}",
+            out.plan.total_rounds()
+        );
+    }
+}
+
+#[test]
+fn corridor_mesh_budget() {
+    // The emergency-alert scenario: 20 blocks of 6 radios, diameter 39.
+    // Fixed windows used to need ~5.8M rounds here; adaptive worst observed
+    // over seeds 0..10 was 1073.
+    assert_within_budget("corridor", &generators::cluster_chain(20, 6), 0..5, 2_200);
+}
+
+#[test]
+fn geometric_deployment_budget() {
+    // A dense unit-disk deployment (n = 80, D = 8). Worst observed: 2474.
+    let mut rng = stream_rng(2024, 0);
+    let g = generators::unit_disk(80, 0.18, &mut rng);
+    assert_within_budget("unit_disk", &g, 0..5, 4_800);
+}
+
+#[test]
+fn cluster_chain_budget() {
+    // A small cluster chain (n = 30, D = 11). Worst observed: 515.
+    assert_within_budget("cluster_chain", &generators::cluster_chain(6, 5), 0..5, 1_100);
+}
+
+#[test]
+fn corridor_ghk_within_10x_of_decay() {
+    // The headline acceptance bound: on the corridor mesh, collision
+    // detection plus the adaptive pipeline must land within a small constant
+    // factor of the Decay baseline (it used to be ~40,000x slower).
+    let g = generators::cluster_chain(20, 6);
+    let params = Params::scaled(g.node_count());
+    for seed in 0..3u64 {
+        let ghk = broadcast_single(&g, NodeId::new(0), 0xA1E57, &params, seed)
+            .completion_round
+            .expect("GHK completes");
+        let mut sim = Simulator::new(g.clone(), CollisionMode::NoDetection, seed, |id| {
+            DecayBroadcast::new(&params, (id.index() == 0).then_some(DecayMsg(0xA1E57)))
+        });
+        let decay = sim
+            .run_until(5_000_000, |ns| ns.iter().all(DecayBroadcast::is_informed))
+            .expect("Decay completes");
+        assert!(
+            ghk <= decay * 10,
+            "seed {seed}: GHK-CD took {ghk} rounds vs Decay's {decay} (> 10x)"
+        );
+    }
+}
+
+#[test]
+fn adaptive_caps_stay_polylog_above_diameter() {
+    // The cap itself must keep the O(D + polylog) shape: doubling D at fixed
+    // n must grow the cap by ~O(D), not multiply it.
+    let params = Params::scaled(128);
+    let short = broadcast::single_message::Ghk1Plan::new(&params, 20).total_rounds();
+    let long = broadcast::single_message::Ghk1Plan::new(&params, 40).total_rounds();
+    assert!(long <= short * 3, "cap explodes with D: {short} -> {long}");
+}
