@@ -1,0 +1,175 @@
+//! Machine-readable perf tracker: runs the flagship pipelines (E1/E2 single
+//! message, the adaptive Theorem 1.3 multi-message scenarios) and the
+//! million-node idle-round microbench, then writes `BENCH_pipeline.json` at
+//! the repo root — rounds, wall-clock and engine skip counters — so the perf
+//! trajectory is tracked from PR 3 onward. CI runs this in release mode as a
+//! smoke job.
+//!
+//! ```sh
+//! cargo bench --bench perf_pipeline            # writes BENCH_pipeline.json
+//! BENCH_OUT=/tmp/p.json cargo bench --bench perf_pipeline
+//! ```
+
+use broadcast::decay::{DecayBroadcast, DecayMsg};
+use broadcast::multi_message::{broadcast_unknown, BatchMode};
+use broadcast::single_message::broadcast_single;
+use broadcast::Params;
+use radio_sim::graph::generators;
+use radio_sim::rng::stream_rng;
+use radio_sim::trace::RunStats;
+use radio_sim::{CollisionMode, DenseWrap, NodeId, Simulator};
+use rlnc::gf2::BitVec;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured pipeline run.
+struct Entry {
+    name: &'static str,
+    rounds: u64,
+    cap: u64,
+    wall_ms: f64,
+    stats: RunStats,
+}
+
+fn payloads(k: usize) -> Vec<BitVec> {
+    (0..k as u64).map(|i| BitVec::from_u64(0xBEE0 + i, 32)).collect()
+}
+
+fn single(name: &'static str, g: radio_sim::Graph, seed: u64) -> Entry {
+    let params = Params::scaled(g.node_count());
+    let t = Instant::now();
+    let out = broadcast_single(&g, NodeId::new(0), 0xFEED, &params, seed);
+    Entry {
+        name,
+        rounds: out.completion_round.expect("single pipeline completes"),
+        cap: out.plan.total_rounds(),
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        stats: out.stats,
+    }
+}
+
+fn multi(name: &'static str, g: radio_sim::Graph, k: usize, mode: BatchMode, seed: u64) -> Entry {
+    let params = Params::scaled(g.node_count());
+    let t = Instant::now();
+    let out = broadcast_unknown(&g, NodeId::new(0), &payloads(k), &params, seed, mode);
+    Entry {
+        name,
+        rounds: out.completion_round.expect("multi pipeline completes"),
+        cap: out.rounds_budget,
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        stats: out.stats,
+    }
+}
+
+/// The idle-heavy engine microbench: Decay broadcast from one end of a
+/// million-node path, where almost every node is uninformed (and therefore
+/// asleep on the wake path) for the whole run.
+fn idle_microbench(n: usize, rounds: u64) -> (f64, f64, RunStats) {
+    let make_graph = || generators::path(n);
+    let params = Params::scaled(n);
+
+    // Time only the simulated rounds: graph/simulator construction is the
+    // same O(n) on both paths and would mask the per-round contrast.
+    let mut dense = Simulator::new(make_graph(), CollisionMode::NoDetection, 1, |id| {
+        DenseWrap(DecayBroadcast::new(&params, (id.index() == 0).then_some(DecayMsg(1))))
+    });
+    let t = Instant::now();
+    dense.run(rounds);
+    let dense_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let mut wake = Simulator::new(make_graph(), CollisionMode::NoDetection, 1, |id| {
+        DecayBroadcast::new(&params, (id.index() == 0).then_some(DecayMsg(1)))
+    });
+    let t = Instant::now();
+    wake.run(rounds);
+    let wake_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // The wake path must be a faithful fast path, not a different run.
+    assert_eq!(dense.stats().transmissions, wake.stats().transmissions);
+    assert_eq!(dense.stats().deliveries, wake.stats().deliveries);
+    (dense_ms, wake_ms, wake.stats().clone())
+}
+
+fn json_entry(out: &mut String, e: &Entry) {
+    let _ = write!(
+        out,
+        "    {{\"name\": \"{}\", \"rounds\": {}, \"cap\": {}, \"wall_ms\": {:.2}, \
+         \"transmissions\": {}, \"deliveries\": {}, \"observe_skips\": {}, \
+         \"act_skips\": {}, \"idle_fastforward\": {}}}",
+        e.name,
+        e.rounds,
+        e.cap,
+        e.wall_ms,
+        e.stats.transmissions,
+        e.stats.deliveries,
+        e.stats.observe_skips,
+        e.stats.act_skips,
+        e.stats.idle_fastforward,
+    );
+}
+
+fn main() {
+    let mut entries = Vec::new();
+
+    // E1: the emergency-alert corridor (Theorem 1.1, adaptive).
+    entries.push(single("e1_corridor_single", generators::cluster_chain(20, 6), 1));
+    // E2: a dense unit-disk deployment (Theorem 1.1, adaptive).
+    let mut rng = stream_rng(2024, 0);
+    entries.push(single("e2_unit_disk_single", generators::unit_disk(80, 0.18, &mut rng), 1));
+    // The telemetry-backhaul scenario (Theorem 1.3, adaptive, FullK).
+    entries.push(multi(
+        "multi_telemetry_backhaul",
+        generators::cluster_chain(6, 6),
+        8,
+        BatchMode::FullK,
+        11,
+    ));
+    // The firmware-update topology (Theorem 1.3, adaptive, generations).
+    entries.push(multi(
+        "multi_firmware_grid",
+        generators::grid(6, 6),
+        8,
+        BatchMode::Generations(4),
+        3,
+    ));
+
+    let (n, rounds) = (1_000_000, 300);
+    let (dense_ms, wake_ms, wake_stats) = idle_microbench(n, rounds);
+    let speedup = dense_ms / wake_ms.max(1e-9);
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"generated_by\": \"cargo bench --bench perf_pipeline\",");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        json_entry(&mut out, e);
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(
+        out,
+        "  \"idle_microbench\": {{\"nodes\": {n}, \"rounds\": {rounds}, \
+         \"dense_ms\": {dense_ms:.2}, \"wake_ms\": {wake_ms:.2}, \"speedup\": {speedup:.1}, \
+         \"act_skips\": {}}}",
+        wake_stats.act_skips
+    );
+    out.push_str("}\n");
+
+    for e in &entries {
+        println!(
+            "{:>26}: {:>7} rounds (cap {:>9}) in {:>8.2} ms  [obs skips {}, act skips {}]",
+            e.name, e.rounds, e.cap, e.wall_ms, e.stats.observe_skips, e.stats.act_skips
+        );
+    }
+    println!(
+        "{:>26}: dense {dense_ms:.1} ms vs wake {wake_ms:.1} ms -> {speedup:.0}x on {n} nodes",
+        "idle_microbench"
+    );
+    assert!(speedup >= 50.0, "idle microbench speedup regressed: {speedup:.1}x < 50x");
+
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json").to_string()
+    });
+    std::fs::write(&path, out).expect("write BENCH_pipeline.json");
+    println!("wrote {path}");
+}

@@ -1,0 +1,207 @@
+//! Shared machinery of the adaptive (quiescence-driven) pipeline drivers.
+//!
+//! PR 2 introduced phase-completion detection for the Theorem 1.1 pipeline:
+//! open-ended phases interleave dedicated *status rounds* in which exactly
+//! the nodes with pending work transmit a content-free beep, and the driver
+//! advances the shared phase cursor once the channel stays silent (see
+//! `single_message` for the full in-model justification). The most intricate
+//! part — skipping quiescent rank blocks, epochs and recruiting tails of the
+//! distributed GST construction — is identical for the Theorem 1.1 and
+//! Theorem 1.3 pipelines, so it lives here: [`ConsProbe`] enumerates the
+//! construction status probes, [`answer_cons_probe`] evaluates one against a
+//! node's construction state, and [`drive_construction`] is the
+//! rank-block/epoch/recruiting skip loop, generic over the [`ConsDriver`]
+//! hooks each pipeline driver provides.
+
+use crate::construction::{ConstructionSchedule, GstConstructionNode};
+
+/// Construction status probes: what a dedicated status round asks the
+/// nodes. Probes address ring-local boundaries/ranks, so one probe covers
+/// every ring at once (parallel ring constructions share the phase cursor).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConsProbe {
+    /// "Are you an unassigned blue of this `(boundary, rank)`?"
+    OpenBlue {
+        /// Ring-local blue level.
+        boundary: u32,
+        /// Rank subproblem.
+        rank: u32,
+    },
+    /// "An unassigned blue of rank strictly below `rank`?"
+    /// (a potential Stage III adopter).
+    OpenBlueBelow {
+        /// Ring-local blue level.
+        boundary: u32,
+        /// Rank subproblem.
+        rank: u32,
+    },
+    /// "An active red of this boundary?"
+    ActiveRed {
+        /// Ring-local blue level.
+        boundary: u32,
+    },
+    /// "Did you activate since the last status round?"
+    NewActivation,
+    /// "A loner blue with a Stage Ib announcement pending?"
+    LonerBlue {
+        /// Ring-local blue level.
+        boundary: u32,
+    },
+    /// "A red that would participate in recruiting `part`?"
+    PartRed {
+        /// Ring-local blue level.
+        boundary: u32,
+        /// Recruiting part 1–3.
+        part: u8,
+    },
+    /// "A red actually participating in the running part?"
+    PartParticipant,
+    /// "A blue whose recruiting run is still unresolved?"
+    UnresolvedBlue,
+    /// "A red ranked this epoch (Stage III announcer)?"
+    NewlyRanked {
+        /// Ring-local blue level.
+        boundary: u32,
+    },
+}
+
+/// Evaluates a construction status probe against one node's construction
+/// state: `true` means the node transmits a beep in that status round.
+pub fn answer_cons_probe(c: &mut GstConstructionNode, probe: ConsProbe) -> bool {
+    match probe {
+        ConsProbe::OpenBlue { boundary, rank } => c.probe_open_blue(boundary, rank),
+        ConsProbe::OpenBlueBelow { boundary, rank } => c.probe_open_blue_below(boundary, rank),
+        ConsProbe::ActiveRed { boundary } => c.probe_active_red(boundary),
+        ConsProbe::NewActivation => c.take_new_activation(),
+        ConsProbe::LonerBlue { boundary } => c.probe_loner_blue(boundary),
+        ConsProbe::PartRed { boundary, part } => c.probe_part_red(boundary, part),
+        ConsProbe::PartParticipant => c.probe_part_participant(),
+        ConsProbe::UnresolvedBlue => c.probe_unresolved_blue(),
+        ConsProbe::NewlyRanked { boundary } => c.probe_newly_ranked_red(boundary),
+    }
+}
+
+/// The driver-side hooks [`drive_construction`] needs.
+pub trait ConsDriver {
+    /// Runs one construction status round for `probe`, charged against the
+    /// driver's construction status budget. `Some(true)` iff the channel
+    /// stayed silent; `None` once the budget is exhausted (the loop bails
+    /// out and the fixed-schedule cap takes over).
+    fn cons_quiet(&mut self, probe: ConsProbe) -> Option<bool>;
+
+    /// Runs `len` slotted construction work rounds starting at (unslotted)
+    /// schedule round `start`: two simulator rounds per schedule round, one
+    /// per ring parity.
+    fn cons_run(&mut self, start: u64, len: u64);
+
+    /// Whether the enclosing pipeline already completed (early exit).
+    fn finished(&self) -> bool;
+}
+
+/// The construction phase driver: parallel per-ring GST construction with
+/// quiescence skipping. Rank blocks with no open blues are skipped outright;
+/// Identify ends when activations stop; epochs end when every blue is
+/// assigned or no red is active; recruiting parts end when no red
+/// participates or every blue's run resolved; Stage Ib/III run only when
+/// they have announcers (and, for Stage III, adopters).
+///
+/// The caller is responsible for running the per-node construction epilogue
+/// (`GstConstructionNode::finalize`) afterwards — the adaptive loop may have
+/// skipped the later blocks through which the fixed schedule reaches that
+/// state lazily.
+pub fn drive_construction(d: &mut impl ConsDriver, cons: ConstructionSchedule) {
+    let iteration = cons.recruit_iteration_rounds();
+    let iterations = cons.recruit_rounds() / iteration;
+    let phase_len = u64::from(cons.phase_len());
+    let ident_phases = cons.decay_step() / phase_len.max(1);
+    for boundary in (1..=cons.d_bound).rev() {
+        for rank in (1..=cons.max_rank()).rev() {
+            if d.finished() {
+                return;
+            }
+            match d.cons_quiet(ConsProbe::OpenBlue { boundary, rank }) {
+                Some(true) => continue, // no open blues anywhere: skip block
+                Some(false) => {}
+                None => return,
+            }
+            // Identify prologue, phase by phase until activations stop.
+            let block = cons.rank_block_start(boundary, rank);
+            for ph in 0..ident_phases {
+                d.cons_run(block + ph * phase_len, phase_len);
+                match d.cons_quiet(ConsProbe::NewActivation) {
+                    Some(true) => break,
+                    Some(false) => {}
+                    None => return,
+                }
+            }
+            for epoch in 0..cons.epochs() {
+                match d.cons_quiet(ConsProbe::OpenBlue { boundary, rank }) {
+                    Some(true) => break, // every blue assigned
+                    Some(false) => {}
+                    None => return,
+                }
+                match d.cons_quiet(ConsProbe::ActiveRed { boundary }) {
+                    Some(true) => break, // no red left to assign them
+                    Some(false) => {}
+                    None => return,
+                }
+                let e0 = cons.epoch_start(boundary, rank, epoch);
+                d.cons_run(e0, 1); // Stage Ia beacons
+                match d.cons_quiet(ConsProbe::LonerBlue { boundary }) {
+                    Some(true) => {} // no loners: skip Stage Ib
+                    Some(false) => d.cons_run(e0 + 1, cons.decay_step()),
+                    None => return,
+                }
+                for part in 1..=3u8 {
+                    match d.cons_quiet(ConsProbe::PartRed { boundary, part }) {
+                        Some(true) => continue, // no reds for this part
+                        Some(false) => {}
+                        None => return,
+                    }
+                    let p0 =
+                        e0 + 1 + cons.decay_step() + u64::from(part - 1) * cons.recruit_rounds();
+                    for i in 0..iterations {
+                        d.cons_run(p0 + i * iteration, iteration);
+                        let probe = if i == 0 {
+                            ConsProbe::PartParticipant
+                        } else {
+                            ConsProbe::UnresolvedBlue
+                        };
+                        match d.cons_quiet(probe) {
+                            Some(true) => break,
+                            Some(false) => {}
+                            None => return,
+                        }
+                    }
+                }
+                // Stage III runs only with announcers *and* adopters.
+                match d.cons_quiet(ConsProbe::NewlyRanked { boundary }) {
+                    Some(true) => continue,
+                    Some(false) => {}
+                    None => return,
+                }
+                match d.cons_quiet(ConsProbe::OpenBlueBelow { boundary, rank }) {
+                    Some(true) => continue,
+                    Some(false) => {}
+                    None => return,
+                }
+                d.cons_run(
+                    e0 + 1 + cons.decay_step() + 3 * cons.recruit_rounds(),
+                    cons.decay_step(),
+                );
+            }
+        }
+    }
+}
+
+/// Status rounds the construction driver can spend, per the formula PR 2
+/// established: per rank block one rank-skip probe, one per Identify phase,
+/// and per epoch the open-blue / active-red / loner probes, per-part gates
+/// plus one probe per recruiting iteration, and the two Stage III gates.
+pub fn cons_status_budget(params: &crate::params::Params, cons: &ConstructionSchedule) -> u64 {
+    let iterations = u64::from(params.recruit_iterations.max(1));
+    let per_epoch_status = 5 + 3 * (1 + iterations);
+    let per_rank_status =
+        1 + u64::from(params.decay_phases) + u64::from(cons.epochs()) * per_epoch_status;
+    u64::from(cons.d_bound) * u64::from(params.max_rank()) * per_rank_status
+}

@@ -23,7 +23,7 @@
 
 use crate::params::Params;
 use radio_sim::model::PacketBits;
-use radio_sim::{Action, Observation, Protocol};
+use radio_sim::{Action, Observation, Protocol, Wake};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -124,11 +124,22 @@ impl Protocol for DecayBroadcast {
     type Msg = DecayMsg;
     // `observe` reacts to received packets only and never touches the RNG.
     const SILENCE_IS_NOOP: bool = true;
+    const WAKE_HINTS: bool = true;
 
     fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<DecayMsg> {
         match self.message {
             Some(m) if self.schedule.fires(round, rng) => Action::Transmit(m),
             _ => Action::Listen,
+        }
+    }
+
+    /// Uninformed nodes are inert (no transmission, no RNG draw) until a
+    /// packet arrives; informed nodes sample the Decay pattern every round.
+    fn next_wake(&self, _round: u64) -> Wake {
+        if self.message.is_some() {
+            Wake::Now
+        } else {
+            Wake::Idle
         }
     }
 
@@ -217,11 +228,33 @@ impl MmvDecayBroadcast {
         let step = (r - self.level - 1) / 3 % u64::from(self.log_n);
         Some(0.5f64.powi(step as i32))
     }
+
+    /// The first round `>= from` in which the schedule prompts this node
+    /// (every prompted round draws from the RNG, message or not).
+    fn next_prompt(&self, from: u64) -> u64 {
+        // Prompted rounds satisfy (round + 1) ≡ level + 1 (mod 3) with
+        // round >= level.
+        let from = from.max(self.level);
+        let target = (self.level + 1) % 3;
+        from + (target + 3 - (from + 1) % 3) % 3
+    }
 }
 
 impl Protocol for MmvDecayBroadcast {
     type Msg = MmvDecayMsg;
     const SILENCE_IS_NOOP: bool = true;
+    const WAKE_HINTS: bool = true;
+
+    /// Wakes only in prompted rounds (one in three): unprompted rounds
+    /// neither transmit nor draw from the RNG.
+    fn next_wake(&self, round: u64) -> Wake {
+        let next = self.next_prompt(round);
+        if next == round {
+            Wake::Now
+        } else {
+            Wake::At(next)
+        }
+    }
 
     fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<MmvDecayMsg> {
         let Some(p) = self.prompt_probability(round) else {
@@ -361,5 +394,76 @@ mod tests {
     fn packet_bits() {
         assert_eq!(DecayMsg(0).packet_bits(), 64);
         assert_eq!(MmvDecayMsg::Noise.packet_bits(), 65);
+    }
+
+    #[test]
+    fn decay_wake_hints_match_dense_path() {
+        use radio_sim::DenseWrap;
+        let g = generators::cluster_chain(5, 5);
+        let params = Params::scaled(g.node_count());
+        for seed in 0..4u64 {
+            let mut wake = Simulator::new(g.clone(), CollisionMode::NoDetection, seed, |id| {
+                DecayBroadcast::new(&params, (id.index() == 0).then_some(DecayMsg(5)))
+            });
+            let mut dense = Simulator::new(g.clone(), CollisionMode::NoDetection, seed, |id| {
+                DenseWrap(DecayBroadcast::new(&params, (id.index() == 0).then_some(DecayMsg(5))))
+            });
+            wake.run(2_000);
+            dense.run(2_000);
+            let wa: Vec<_> = wake.nodes().iter().map(DecayBroadcast::informed_at).collect();
+            let da: Vec<_> = dense.nodes().iter().map(|n| n.0.informed_at()).collect();
+            assert_eq!(wa, da, "informed rounds diverged (seed {seed})");
+            assert_eq!(
+                (wake.stats().transmissions, wake.stats().deliveries, wake.stats().collisions),
+                (dense.stats().transmissions, dense.stats().deliveries, dense.stats().collisions),
+            );
+            assert!(wake.stats().act_skips > 0, "uninformed nodes were not skipped");
+            assert_eq!(dense.stats().act_skips, 0);
+        }
+    }
+
+    #[test]
+    fn mmv_decay_wake_hints_match_dense_path() {
+        use radio_sim::DenseWrap;
+        let g = generators::cluster_chain(4, 4);
+        let layering = g.bfs(NodeId::new(0));
+        let params = Params::scaled(g.node_count());
+        let levels: Vec<u32> = g.node_ids().map(|v| layering.level(v)).collect();
+        for noise in [false, true] {
+            let make = |id: NodeId| {
+                MmvDecayBroadcast::new(
+                    &params,
+                    levels[id.index()],
+                    noise,
+                    (id.index() == 0).then_some(9),
+                )
+            };
+            let mut wake = Simulator::new(g.clone(), CollisionMode::NoDetection, 7, make);
+            let mut dense =
+                Simulator::new(g.clone(), CollisionMode::NoDetection, 7, |id| DenseWrap(make(id)));
+            wake.run(3_000);
+            dense.run(3_000);
+            let wa: Vec<_> = wake.nodes().iter().map(MmvDecayBroadcast::informed_at).collect();
+            let da: Vec<_> = dense.nodes().iter().map(|n| n.0.informed_at()).collect();
+            assert_eq!(wa, da, "informed rounds diverged (noise {noise})");
+            assert_eq!(wake.stats().transmissions, dense.stats().transmissions);
+            assert!(wake.stats().act_skips > 0, "off-slot rounds were not skipped");
+        }
+    }
+
+    #[test]
+    fn mmv_next_prompt_is_consistent_with_prompting() {
+        let params = Params::scaled(64);
+        for level in 0..7u32 {
+            let node = MmvDecayBroadcast::new(&params, level, false, None);
+            for from in 0..60u64 {
+                let next = node.next_prompt(from);
+                assert!(next >= from);
+                assert!(node.prompt_probability(next).is_some(), "level {level} from {from}");
+                for t in from..next {
+                    assert!(node.prompt_probability(t).is_none(), "missed prompt at {t}");
+                }
+            }
+        }
     }
 }

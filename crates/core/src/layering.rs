@@ -15,7 +15,7 @@
 use crate::decay::DecaySchedule;
 use crate::params::Params;
 use radio_sim::model::PacketBits;
-use radio_sim::{Action, Observation, Protocol};
+use radio_sim::{Action, Observation, Protocol, Wake};
 use rand::rngs::SmallRng;
 
 /// The content-free "beep" packet of the collision wave.
@@ -57,6 +57,17 @@ impl Protocol for CollisionWaveLayering {
     type Msg = Beep;
     // Only signals (messages/collisions) matter; silence is a no-op.
     const SILENCE_IS_NOOP: bool = true;
+    const WAKE_HINTS: bool = true;
+
+    /// Unlayered nodes are inert until the wave's first signal reaches them
+    /// (which re-wakes them); a node layered `l` beeps from round `l` on.
+    fn next_wake(&self, round: u64) -> Wake {
+        match self.level {
+            Some(l) if u64::from(l) <= round => Wake::Now,
+            Some(l) => Wake::At(u64::from(l)),
+            None => Wake::Idle,
+        }
+    }
 
     fn act(&mut self, round: u64, _rng: &mut SmallRng) -> Action<Beep> {
         match self.level {
@@ -125,6 +136,23 @@ impl DecayLayering {
 impl Protocol for DecayLayering {
     type Msg = WaveToken;
     const SILENCE_IS_NOOP: bool = true;
+    const WAKE_HINTS: bool = true;
+
+    /// A node samples the Decay pattern from the first round of its joining
+    /// epoch on; before that (or before the token arrives) it is inert.
+    fn next_wake(&self, round: u64) -> Wake {
+        match self.active_from_epoch {
+            Some(e) => {
+                let start = e * self.epoch_rounds;
+                if start <= round {
+                    Wake::Now
+                } else {
+                    Wake::At(start)
+                }
+            }
+            None => Wake::Idle,
+        }
+    }
 
     fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<WaveToken> {
         let epoch = round / self.epoch_rounds;

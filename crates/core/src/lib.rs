@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adaptive;
 pub mod construction;
 pub mod decay;
 pub mod layering;

@@ -41,9 +41,10 @@ pub struct Params {
     /// rounds.
     pub window_slack: u32,
     /// Work rounds between two status-beep rounds of the adaptive
-    /// Theorem 1.1 pipeline (see `single_message`): every `beep_interval`-th
-    /// round of an open-ended phase is a dedicated beep slot in which nodes
-    /// with pending work transmit a content-free status beep.
+    /// Theorem 1.1 and 1.3 pipelines (see `single_message` /
+    /// `multi_message`): every `beep_interval`-th round of an open-ended
+    /// phase is a dedicated beep slot in which nodes with pending work
+    /// transmit a content-free status beep.
     pub beep_interval: u32,
     /// Consecutive *silent* status rounds required before an open-ended
     /// adaptive phase is declared quiescent and closed — the "fixed slack"
@@ -176,8 +177,8 @@ impl Params {
         6 * self.log_n
     }
 
-    /// The ring width for the *adaptive* Theorem 1.1 pipeline, honoring the
-    /// override.
+    /// The ring width for the *adaptive* Theorem 1.1 and 1.3 pipelines,
+    /// honoring the override.
     ///
     /// [`Params::ring_width_for`] floors the width at `2·log^2 n` because with
     /// fixed windows every inter-ring handoff costs its full worst-case

@@ -238,6 +238,29 @@ impl RecruitingRed {
             }
         }
     }
+
+    /// The next local round `>= r` in which [`RecruitingRed::act`] can
+    /// transmit, draw from the RNG or change state — iteration starts, plus
+    /// the echo round of an iteration whose beacon fired. `None` once the
+    /// run is over (or for non-participants).
+    pub fn next_act_round(&self, r: u64) -> Option<u64> {
+        if !self.participating {
+            return None;
+        }
+        let (iter, offset) = self.cfg.split(r);
+        if iter >= self.cfg.iterations {
+            return None;
+        }
+        let per = u64::from(self.cfg.iteration_rounds());
+        let base = u64::from(iter) * per;
+        if offset == 0 || (self.beaconed && offset == self.cfg.iteration_rounds() - 1) {
+            return Some(r);
+        }
+        if self.beaconed {
+            return Some(base + per - 1); // this iteration's echo
+        }
+        (iter + 1 < self.cfg.iterations).then_some(base + per) // next beacon
+    }
 }
 
 /// The outcome carried by a recruited blue (properties (a) and (c)).
@@ -335,13 +358,36 @@ impl RecruitingBlue {
             RecruitMsg::EchoNone { .. } | RecruitMsg::Response { .. } => {}
         }
     }
+
+    /// The next local round `>= r` in which [`RecruitingBlue::act`] can
+    /// transmit, draw from the RNG or change state: every iteration start
+    /// (the per-iteration reset), plus the Decay response rounds while an
+    /// unanswered beacon is pending. `None` once the run is over.
+    pub fn next_act_round(&self, r: u64) -> Option<u64> {
+        let (iter, offset) = self.cfg.split(r);
+        if iter >= self.cfg.iterations {
+            return None;
+        }
+        if offset == 0 {
+            return Some(r);
+        }
+        let responding = self.participating
+            && self.recruited.is_none()
+            && self.beacon_heard.is_some()
+            && offset <= self.cfg.phase_len;
+        if responding {
+            return Some(r);
+        }
+        let per = u64::from(self.cfg.iteration_rounds());
+        (iter + 1 < self.cfg.iterations).then_some(u64::from(iter + 1) * per)
+    }
 }
 
 /// A self-contained [`radio_sim::Protocol`] running one recruiting instance —
 /// the harness for validating Lemma 2.3 directly (experiment E5).
 pub mod standalone {
     use super::*;
-    use radio_sim::{Action, Observation, Protocol};
+    use radio_sim::{Action, Observation, Protocol, Wake};
     use rand::rngs::SmallRng;
 
     /// One node of a standalone recruiting run.
@@ -383,6 +429,24 @@ pub mod standalone {
 
     impl Protocol for RecruitNode {
         type Msg = RecruitMsg;
+        // `observe` reacts to received packets only.
+        const SILENCE_IS_NOOP: bool = true;
+        const WAKE_HINTS: bool = true;
+
+        /// Sleeps through the rounds its side of the exchange provably sits
+        /// out (a red between beacon and echo, a blue with no pending
+        /// beacon); idles once every iteration has run.
+        fn next_wake(&self, round: u64) -> Wake {
+            let next = match self {
+                RecruitNode::Red(r) => r.next_act_round(round),
+                RecruitNode::Blue(b) => b.next_act_round(round),
+            };
+            match next {
+                Some(r) if r == round => Wake::Now,
+                Some(r) => Wake::At(r),
+                None => Wake::Idle,
+            }
+        }
 
         fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<RecruitMsg> {
             let msg = match self {
@@ -554,6 +618,41 @@ mod tests {
         assert_eq!(cfg.beacon_probability(1), 1.0);
         assert_eq!(cfg.beacon_probability(2), 0.5);
         assert_eq!(cfg.beacon_probability(6), 0.125);
+    }
+
+    #[test]
+    fn recruiting_wake_hints_match_dense_path() {
+        use radio_sim::{DenseWrap, Simulator};
+        let params = Params::scaled(64);
+        let cfg = RecruitConfig::from_params(&params);
+        for seed in 0..3u64 {
+            let mut rng = stream_rng(seed, 99);
+            let bp = generators::random_bipartite(8, 24, 0.2, &mut rng);
+            let make = |id: NodeId| {
+                if id.index() < 8 {
+                    RecruitNode::red(cfg, id.raw())
+                } else {
+                    RecruitNode::blue(cfg, id.raw())
+                }
+            };
+            let mut wake = Simulator::new(bp.graph.clone(), CollisionMode::NoDetection, seed, make);
+            let mut dense =
+                Simulator::new(bp.graph.clone(), CollisionMode::NoDetection, seed, |id| {
+                    DenseWrap(make(id))
+                });
+            wake.run(u64::from(cfg.total_rounds()) + 50);
+            dense.run(u64::from(cfg.total_rounds()) + 50);
+            let wr: Vec<_> =
+                wake.nodes().iter().map(|n| (n.recruited(), n.count_class())).collect();
+            let dr: Vec<_> =
+                dense.nodes().iter().map(|n| (n.0.recruited(), n.0.count_class())).collect();
+            assert_eq!(wr, dr, "recruiting outcomes diverged (seed {seed})");
+            assert_eq!(wake.stats().transmissions, dense.stats().transmissions);
+            assert!(wake.stats().act_skips > 0, "no act was ever skipped");
+            // After `total_rounds` every node idles: the +50 tail must have
+            // been fast-forwarded.
+            assert!(wake.stats().idle_fastforward >= 50, "finished run did not idle");
+        }
     }
 
     #[test]

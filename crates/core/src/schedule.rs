@@ -28,7 +28,7 @@
 
 use crate::params::Params;
 use radio_sim::model::PacketBits;
-use radio_sim::{Action, Observation, Protocol};
+use radio_sim::{Action, Observation, Protocol, Wake};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use rlnc::gf2::BitVec;
@@ -102,6 +102,21 @@ impl ScheduleConfig {
         let step = ((t - 1 - 2 * d) / 6) % u64::from(self.log_n);
         Some(0.5f64.powi(step as i32))
     }
+
+    /// The first round `>= from` that is the fast slot of `(l, r)`.
+    pub fn next_fast_slot(&self, from: u64, l: u32, r: u32) -> u64 {
+        let period = u64::from(6 * self.log_n);
+        let slot = (2 * (u64::from(l) + 3 * u64::from(r))) % period;
+        from + (slot + period - from % period) % period
+    }
+
+    /// The first round `>= from` in which slow key `d` is prompted (every
+    /// such round draws from the RNG).
+    pub fn next_slow_prompt(&self, from: u64, d: u32) -> u64 {
+        let start = 1 + 2 * u64::from(d);
+        let from = from.max(start);
+        from + (start % 6 + 6 - from % 6) % 6
+    }
 }
 
 /// The GST labels a schedule node needs.
@@ -168,6 +183,15 @@ pub struct SchedAudit {
     pub fast_collisions_in_stretch: u64,
     /// Collisions observed in odd (slow) rounds.
     pub slow_collisions: u64,
+}
+
+impl SchedAudit {
+    /// Folds another audit's counters into this one.
+    pub fn absorb(&mut self, other: SchedAudit) {
+        self.fast_collisions_bystander += other.fast_collisions_bystander;
+        self.fast_collisions_in_stretch += other.fast_collisions_in_stretch;
+        self.slow_collisions += other.slow_collisions;
+    }
 }
 
 /// One node running the schedule over a single RLNC generation.
@@ -237,12 +261,41 @@ impl MmvScheduleNode {
             && self.labels.level > 0
             && self.cfg.fast_slot(t, self.labels.level - 1, self.labels.rank)
     }
+
+    /// The first round `>= round` in which this node's `act` can transmit or
+    /// draw from its RNG: its slow-prompt slot, and (for fast transmitters)
+    /// its fast slot. Public so enclosing pipelines can map it into their
+    /// own round spaces.
+    pub fn next_act_round(&self, round: u64) -> u64 {
+        let key = match self.cfg.slow_key {
+            SlowKey::VirtualDistance => self.labels.vdist,
+            SlowKey::Level => self.labels.level,
+        };
+        let slow = self.cfg.next_slow_prompt(round, key);
+        if self.labels.fast_transmitter {
+            slow.min(self.cfg.next_fast_slot(round, self.labels.level, self.labels.rank))
+        } else {
+            slow
+        }
+    }
 }
 
 impl Protocol for MmvScheduleNode {
     type Msg = SchedMsg;
     // Silence/self-transmit observations are explicit no-ops in `observe`.
     const SILENCE_IS_NOOP: bool = true;
+    const WAKE_HINTS: bool = true;
+
+    /// Sleeps between the node's schedule slots: rounds that are neither its
+    /// fast slot nor its slow-prompt slot neither transmit nor draw.
+    fn next_wake(&self, round: u64) -> Wake {
+        let next = self.next_act_round(round);
+        if next == round {
+            Wake::Now
+        } else {
+            Wake::At(next)
+        }
+    }
 
     fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<SchedMsg> {
         if round % 2 == 0 {
@@ -475,6 +528,64 @@ mod tests {
             }
         }
         assert!(noises > 0, "noise mode never transmitted");
+    }
+
+    #[test]
+    fn next_slot_helpers_are_consistent() {
+        let cfg = ScheduleConfig {
+            log_n: 4,
+            slow_key: SlowKey::VirtualDistance,
+            empty: EmptyBehavior::Silent,
+        };
+        for from in 0..80u64 {
+            for l in 0..5 {
+                for r in 1..4 {
+                    let next = cfg.next_fast_slot(from, l, r);
+                    assert!(next >= from && cfg.fast_slot(next, l, r));
+                    for t in from..next {
+                        assert!(!cfg.fast_slot(t, l, r), "missed fast slot at {t}");
+                    }
+                }
+            }
+            for d in 0..6 {
+                let next = cfg.next_slow_prompt(from, d);
+                assert!(next >= from && cfg.slow_prompt(next, d).is_some());
+                for t in from..next {
+                    assert!(cfg.slow_prompt(t, d).is_none(), "missed slow prompt at {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_wake_hints_match_dense_path() {
+        use radio_sim::DenseWrap;
+        let g = generators::cluster_chain(5, 5);
+        let params = Params::scaled(g.node_count());
+        let cfg = ScheduleConfig::from_params(&params);
+        let labels = labels_for(&g, 11);
+        let messages: Vec<BitVec> = (0..4u64).map(|i| BitVec::from_u64(i * 5 + 2, 32)).collect();
+        let make = |id: NodeId| {
+            let node = MmvScheduleNode::new(cfg, labels[id.index()], 4, 32);
+            if id.index() == 0 {
+                node.with_messages(&messages)
+            } else {
+                node
+            }
+        };
+        for mode in [CollisionMode::Detection, CollisionMode::NoDetection] {
+            let mut wake = Simulator::new(g.clone(), mode, 11, make);
+            let mut dense = Simulator::new(g.clone(), mode, 11, |id| DenseWrap(make(id)));
+            let w = wake.run_until(100_000, |ns| ns.iter().all(MmvScheduleNode::is_complete));
+            let d = dense.run_until(100_000, |ns| ns.iter().all(|n| n.0.is_complete()));
+            assert_eq!(w, d, "completion diverged under {mode:?}");
+            assert_eq!(
+                (wake.stats().transmissions, wake.stats().deliveries, wake.stats().collisions),
+                (dense.stats().transmissions, dense.stats().deliveries, dense.stats().collisions),
+                "channel trace diverged under {mode:?}"
+            );
+            assert!(wake.stats().act_skips > 0, "between-slot rounds were not skipped");
+        }
     }
 
     #[test]

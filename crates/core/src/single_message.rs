@@ -57,6 +57,9 @@
 //! including the status-round overhead, still `O(D + log^6 n)`) bounds any
 //! run — `tests/regression_rounds.rs` asserts it.
 
+use crate::adaptive::{
+    answer_cons_probe, cons_status_budget, drive_construction, ConsDriver, ConsProbe,
+};
 use crate::construction::{ConstructionSchedule, GstConstructionNode, GstMsg};
 use crate::decay::DecaySchedule;
 use crate::layering::{Beep, CollisionWaveLayering};
@@ -134,55 +137,15 @@ pub enum PhasePos {
 }
 
 /// What a status round asks: a node transmits a beep iff the predicate holds
-/// for it. Construction probes address ring-local boundaries/ranks, so one
-/// probe covers every ring at once (the rings share the cursor).
+/// for it. Construction probes (see [`ConsProbe`]) address ring-local
+/// boundaries/ranks, so one probe covers every ring at once (the rings share
+/// the cursor).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Probe {
     /// Wave phase: "did the frontier reach you since the last status round?"
     WaveProgress,
-    /// Construction: "are you an unassigned blue of this `(boundary, rank)`?"
-    OpenBlue {
-        /// Ring-local blue level.
-        boundary: u32,
-        /// Rank subproblem.
-        rank: u32,
-    },
-    /// Construction: "an unassigned blue of rank strictly below `rank`?"
-    /// (a potential Stage III adopter).
-    OpenBlueBelow {
-        /// Ring-local blue level.
-        boundary: u32,
-        /// Rank subproblem.
-        rank: u32,
-    },
-    /// Construction: "an active red of this boundary?"
-    ActiveRed {
-        /// Ring-local blue level.
-        boundary: u32,
-    },
-    /// Construction: "did you activate since the last status round?"
-    NewActivation,
-    /// Construction: "a loner blue with a Stage Ib announcement pending?"
-    LonerBlue {
-        /// Ring-local blue level.
-        boundary: u32,
-    },
-    /// Construction: "a red that would participate in recruiting `part`?"
-    PartRed {
-        /// Ring-local blue level.
-        boundary: u32,
-        /// Recruiting part 1–3.
-        part: u8,
-    },
-    /// Construction: "a red actually participating in the running part?"
-    PartParticipant,
-    /// Construction: "a blue whose recruiting run is still unresolved?"
-    UnresolvedBlue,
-    /// Construction: "a red ranked this epoch (Stage III announcer)?"
-    NewlyRanked {
-        /// Ring-local blue level.
-        boundary: u32,
-    },
+    /// A construction status probe (shared with the Theorem 1.3 driver).
+    Cons(ConsProbe),
     /// Broadcast window: "a node of `ring` still missing the message?"
     RingUninformed {
         /// The ring whose window is open.
@@ -251,15 +214,9 @@ impl Ghk1Plan {
         let l2 = u64::from(params.log_n) * u64::from(params.log_n);
         let d = u64::from(d_bound);
 
-        // Status rounds the construction driver can spend per rank block:
-        // one rank-skip probe, one per Identify phase, and per epoch the
-        // open-blue / active-red / loner probes, per-part gates plus one
-        // probe per recruiting iteration, and the two Stage III gates.
-        let iterations = u64::from(params.recruit_iterations.max(1));
-        let per_epoch_status = 5 + 3 * (1 + iterations);
-        let per_rank_status =
-            1 + u64::from(params.decay_phases) + u64::from(cons.epochs()) * per_epoch_status;
-        let cons_status = u64::from(cons.d_bound) * u64::from(params.max_rank()) * per_rank_status;
+        // Status rounds the construction driver can spend (see
+        // `crate::adaptive::cons_status_budget` for the breakdown).
+        let cons_status = cons_status_budget(params, &cons);
 
         let bcast_work = slack * (2 * u64::from(ring_width) + 2 * l2);
         let handoff_work = slack * l2;
@@ -442,23 +399,10 @@ impl Ghk1Node {
                 self.ensure_ring();
                 self.ring == Some((ring, 0)) && !self.has_message()
             }
-            cons_probe => {
+            Probe::Cons(p) => {
                 self.ensure_cons();
                 let Some(c) = self.cons.as_mut() else { return false };
-                match cons_probe {
-                    Probe::OpenBlue { boundary, rank } => c.probe_open_blue(boundary, rank),
-                    Probe::OpenBlueBelow { boundary, rank } => {
-                        c.probe_open_blue_below(boundary, rank)
-                    }
-                    Probe::ActiveRed { boundary } => c.probe_active_red(boundary),
-                    Probe::NewActivation => c.take_new_activation(),
-                    Probe::LonerBlue { boundary } => c.probe_loner_blue(boundary),
-                    Probe::PartRed { boundary, part } => c.probe_part_red(boundary, part),
-                    Probe::PartParticipant => c.probe_part_participant(),
-                    Probe::UnresolvedBlue => c.probe_unresolved_blue(),
-                    Probe::NewlyRanked { boundary } => c.probe_newly_ranked_red(boundary),
-                    _ => unreachable!("non-construction probes handled above"),
-                }
+                answer_cons_probe(c, p)
             }
         }
     }
@@ -651,7 +595,13 @@ impl Driver {
     fn exec(&mut self, step: Step) -> RoundStats {
         self.step.set(step);
         let stats = self.sim.step();
-        if self.completion.is_none() && self.sim.nodes().iter().all(Ghk1Node::has_message) {
+        // `has_message` flips only when a packet arrives (a handoff payload
+        // or the decoding delivery of the schedule), so the O(n) all-nodes
+        // completion scan is needed only after delivery rounds.
+        if self.completion.is_none()
+            && stats.deliveries > 0
+            && self.sim.nodes().iter().all(Ghk1Node::has_message)
+        {
             self.completion = Some(self.sim.round());
         }
         stats
@@ -665,119 +615,6 @@ impl Driver {
     fn quiet(&mut self, probe: Probe) -> bool {
         self.phases.status += 1;
         self.exec(Step::Status(probe)).transmitters == 0
-    }
-
-    /// A construction status round, charged against the construction status
-    /// budget; `None` once the budget is exhausted (caller must bail out).
-    fn cons_quiet(&mut self, probe: Probe) -> Option<bool> {
-        if self.cons_status_left == 0 {
-            return None;
-        }
-        self.cons_status_left -= 1;
-        Some(self.quiet(probe))
-    }
-
-    /// Runs `len` slotted construction rounds starting at (unslotted)
-    /// schedule round `start`: two simulator rounds per schedule round, one
-    /// per ring parity.
-    fn cons_run(&mut self, start: u64, len: u64) {
-        for o in start..start + len {
-            for parity in 0..2u64 {
-                self.exec(Step::Work(PhasePos::Construct { offset: 2 * o + parity }));
-                self.phases.construct += 1;
-            }
-        }
-    }
-
-    /// Phase 2: parallel per-ring GST construction with quiescence skipping.
-    /// Rank blocks with no open blues are skipped outright; Identify ends
-    /// when activations stop; epochs end when every blue is assigned or no
-    /// red is active; recruiting parts end when no red participates or every
-    /// blue's run resolved; Stage Ib/III run only when they have announcers
-    /// (and, for Stage III, adopters).
-    fn construct(&mut self) {
-        let cons = self.plan.cons;
-        let iteration = cons.recruit_iteration_rounds();
-        let iterations = cons.recruit_rounds() / iteration;
-        let phase_len = u64::from(cons.phase_len());
-        let ident_phases = cons.decay_step() / phase_len.max(1);
-        for boundary in (1..=cons.d_bound).rev() {
-            for rank in (1..=cons.max_rank()).rev() {
-                if self.done() {
-                    return;
-                }
-                match self.cons_quiet(Probe::OpenBlue { boundary, rank }) {
-                    Some(true) => continue, // no open blues anywhere: skip block
-                    Some(false) => {}
-                    None => return,
-                }
-                // Identify prologue, phase by phase until activations stop.
-                let block = cons.rank_block_start(boundary, rank);
-                for ph in 0..ident_phases {
-                    self.cons_run(block + ph * phase_len, phase_len);
-                    match self.cons_quiet(Probe::NewActivation) {
-                        Some(true) => break,
-                        Some(false) => {}
-                        None => return,
-                    }
-                }
-                for epoch in 0..cons.epochs() {
-                    match self.cons_quiet(Probe::OpenBlue { boundary, rank }) {
-                        Some(true) => break, // every blue assigned
-                        Some(false) => {}
-                        None => return,
-                    }
-                    match self.cons_quiet(Probe::ActiveRed { boundary }) {
-                        Some(true) => break, // no red left to assign them
-                        Some(false) => {}
-                        None => return,
-                    }
-                    let e0 = cons.epoch_start(boundary, rank, epoch);
-                    self.cons_run(e0, 1); // Stage Ia beacons
-                    match self.cons_quiet(Probe::LonerBlue { boundary }) {
-                        Some(true) => {} // no loners: skip Stage Ib
-                        Some(false) => self.cons_run(e0 + 1, cons.decay_step()),
-                        None => return,
-                    }
-                    for part in 1..=3u8 {
-                        match self.cons_quiet(Probe::PartRed { boundary, part }) {
-                            Some(true) => continue, // no reds for this part
-                            Some(false) => {}
-                            None => return,
-                        }
-                        let p0 = e0
-                            + 1
-                            + cons.decay_step()
-                            + u64::from(part - 1) * cons.recruit_rounds();
-                        for i in 0..iterations {
-                            self.cons_run(p0 + i * iteration, iteration);
-                            let probe =
-                                if i == 0 { Probe::PartParticipant } else { Probe::UnresolvedBlue };
-                            match self.cons_quiet(probe) {
-                                Some(true) => break,
-                                Some(false) => {}
-                                None => return,
-                            }
-                        }
-                    }
-                    // Stage III runs only with announcers *and* adopters.
-                    match self.cons_quiet(Probe::NewlyRanked { boundary }) {
-                        Some(true) => continue,
-                        Some(false) => {}
-                        None => return,
-                    }
-                    match self.cons_quiet(Probe::OpenBlueBelow { boundary, rank }) {
-                        Some(true) => continue,
-                        Some(false) => {}
-                        None => return,
-                    }
-                    self.cons_run(
-                        e0 + 1 + cons.decay_step() + 3 * cons.recruit_rounds(),
-                        cons.decay_step(),
-                    );
-                }
-            }
-        }
     }
 
     /// One adaptive open-ended window: `beep_interval` work rounds, one
@@ -821,6 +658,15 @@ impl Driver {
         }
     }
 
+    /// Hooks for the shared construction driver (`crate::adaptive`).
+    fn cons_quiet_impl(&mut self, probe: ConsProbe) -> Option<bool> {
+        if self.cons_status_left == 0 {
+            return None;
+        }
+        self.cons_status_left -= 1;
+        Some(self.quiet(Probe::Cons(probe)))
+    }
+
     fn run(mut self) -> Ghk1Outcome {
         if self.sim.nodes().iter().all(Ghk1Node::has_message) {
             self.completion = Some(0);
@@ -836,7 +682,9 @@ impl Driver {
             );
         }
         if !self.done() {
-            self.construct();
+            // Phase 2: the shared quiescence-skipping construction driver.
+            let cons = self.plan.cons;
+            drive_construction(&mut self, cons);
         }
         // End-of-construction echo: every node runs its local block epilogue
         // (pending recruiting results + unassigned-blue fallback). The fixed
@@ -868,10 +716,7 @@ impl Driver {
         let mut audit = SchedAudit::default();
         let mut fallbacks = 0;
         for n in self.sim.nodes() {
-            let a = n.audit();
-            audit.fast_collisions_bystander += a.fast_collisions_bystander;
-            audit.fast_collisions_in_stretch += a.fast_collisions_in_stretch;
-            audit.slow_collisions += a.slow_collisions;
+            audit.absorb(n.audit());
             if n.construction_stats().is_some_and(|s| s.fallback_used) {
                 fallbacks += 1;
             }
@@ -884,6 +729,25 @@ impl Driver {
             audit,
             fallbacks,
         }
+    }
+}
+
+impl ConsDriver for Driver {
+    fn cons_quiet(&mut self, probe: ConsProbe) -> Option<bool> {
+        self.cons_quiet_impl(probe)
+    }
+
+    fn cons_run(&mut self, start: u64, len: u64) {
+        for o in start..start + len {
+            for parity in 0..2u64 {
+                self.exec(Step::Work(PhasePos::Construct { offset: 2 * o + parity }));
+                self.phases.construct += 1;
+            }
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.done()
     }
 }
 

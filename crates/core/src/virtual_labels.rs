@@ -92,6 +92,13 @@ impl VlSchedule {
         2 * self.log_n
     }
 
+    /// Rounds one `d` value's substages occupy (per-rank waves + spread) —
+    /// the granularity at which the adaptive Theorem 1.3 driver skips dead
+    /// frontiers.
+    pub fn per_d_rounds(&self) -> u64 {
+        self.per_d()
+    }
+
     /// Total rounds of the labeling run.
     pub fn total_rounds(&self) -> u64 {
         u64::from(self.d_values()) * self.per_d()

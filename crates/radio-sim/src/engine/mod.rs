@@ -6,7 +6,46 @@ use crate::model::{Action, CollisionMode, Observation};
 use crate::rng;
 use crate::trace::{RoundStats, RunStats};
 use rand::rngs::SmallRng;
+use std::collections::BTreeMap;
 use std::fmt;
+
+/// A wake hint returned by [`Protocol::next_wake`]: the earliest future round
+/// in which this node might do something in `act`.
+///
+/// See [`Protocol::next_wake`] for the exact contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Wake {
+    /// The node must be polled in the very next round.
+    Now,
+    /// The node is guaranteed inert (listen, no RNG draw, no state change)
+    /// in every round before the given round.
+    At(u64),
+    /// The node is inert until an observation changes its state.
+    Idle,
+}
+
+/// How often [`Simulator::run_until_with`] evaluates its `done` predicate.
+///
+/// The predicate receives all node states, so a typical "is everyone
+/// finished?" closure is an `O(n)` scan — calling it every round makes the
+/// *driver* cost `O(n)` per round even when the round itself was cheap
+/// (sparse/wake fast paths). The policy bounds that overhead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DoneCheck {
+    /// Evaluate after every simulated round (the historical behavior of
+    /// [`Simulator::run_until`]). Exact completion rounds, `O(n)` per round.
+    EveryRound,
+    /// Evaluate every `k`-th simulated round (and on the final round of the
+    /// budget). The reported completion round may overshoot the true one by
+    /// up to `k - 1` rounds.
+    Every(u64),
+    /// Evaluate only after rounds that delivered a packet or a collision to
+    /// some listener — the only rounds in which *listener* state can change.
+    /// Exact for predicates that depend on what nodes have received (the
+    /// common "all informed/decoded" shape); a predicate that can flip when a
+    /// node merely *transmits* needs [`DoneCheck::EveryRound`] instead.
+    OnDelivery,
+}
 
 /// A per-node protocol state machine.
 ///
@@ -38,6 +77,46 @@ pub trait Protocol {
     /// calls are reported in [`RoundStats::observe_skips`].
     const SILENCE_IS_NOOP: bool = false;
 
+    /// Declares that [`Protocol::next_wake`] returns meaningful hints.
+    ///
+    /// When `true` **and** [`Protocol::SILENCE_IS_NOOP`] is `true`, the
+    /// engine keeps a bucketed wake-queue and calls [`Protocol::act`] only on
+    /// nodes whose wake round has arrived; runs of rounds in which *every*
+    /// node is asleep are fast-forwarded in `O(1)` by
+    /// [`Simulator::run`]/[`Simulator::run_until`]. Skipped `act` calls are
+    /// reported in [`RoundStats::act_skips`], fast-forwarded rounds in
+    /// [`RunStats::idle_fastforward`]; `round`, the semantic
+    /// [`RoundStats`]/[`RunStats`] fields and every per-node RNG stream stay
+    /// bit-identical to the dense path.
+    ///
+    /// `SILENCE_IS_NOOP` is required because a sleeping node still receives
+    /// its (skippable) silence observations conceptually; only a protocol
+    /// that ignores them can be left untouched for a whole sleep interval.
+    const WAKE_HINTS: bool = false;
+
+    /// The wake hint: the earliest round `>= round` in which this node's
+    /// [`Protocol::act`] might transmit, draw from its RNG, or change state.
+    ///
+    /// # Contract (with [`Protocol::WAKE_HINTS`] enabled)
+    ///
+    /// The engine calls this after any event that may have changed the
+    /// node's state — construction, an `act` call, or a delivered
+    /// message/collision observation — with `round` being the next round to
+    /// be simulated. Returning [`Wake::At(r)`](Wake::At) with `r > round`
+    /// (or [`Wake::Idle`]) promises that for every round `t` in
+    /// `round..r` (resp. every future round), `act(t)` would return
+    /// [`Action::Listen`] **without** drawing from the RNG and **without**
+    /// mutating any state. The engine then skips those `act` calls entirely.
+    ///
+    /// The promise only covers the node's current state: as soon as the node
+    /// observes a message or collision, the engine re-queries the hint, so
+    /// hints never need to anticipate future receptions. Returning
+    /// [`Wake::Now`] is always safe (it degenerates to the dense path).
+    fn next_wake(&self, round: u64) -> Wake {
+        let _ = round;
+        Wake::Now
+    }
+
     /// Chooses this node's action for `round` (0-based).
     fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<Self::Msg>;
 
@@ -47,6 +126,30 @@ pub trait Protocol {
     /// `Silence`/`SelfTransmit` observations — implementations opting in must
     /// not rely on seeing them.
     fn observe(&mut self, round: u64, obs: Observation<Self::Msg>, rng: &mut SmallRng);
+}
+
+/// Wraps a protocol with its wake hints disabled: behavior, RNG usage and
+/// statistics-relevant output are unchanged, but the engine runs the dense
+/// `O(n)`-acts-per-round sweep.
+///
+/// Exists to A/B the wake-list fast path against the dense path — the
+/// equivalence suites run every protocol both ways and assert bit-identical
+/// traces.
+#[derive(Clone, Debug)]
+pub struct DenseWrap<P>(pub P);
+
+impl<P: Protocol> Protocol for DenseWrap<P> {
+    type Msg = P::Msg;
+    const SILENCE_IS_NOOP: bool = P::SILENCE_IS_NOOP;
+    // WAKE_HINTS deliberately left at the default `false`.
+
+    fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<Self::Msg> {
+        self.0.act(round, rng)
+    }
+
+    fn observe(&mut self, round: u64, obs: Observation<Self::Msg>, rng: &mut SmallRng) {
+        self.0.observe(round, obs, rng);
+    }
 }
 
 /// A per-round audit callback: receives the round number and the list of
@@ -74,7 +177,22 @@ pub struct Simulator<P: Protocol> {
     txs: Vec<(NodeId, P::Msg)>,
     /// Nodes whose channel counter was touched this round (sparse path).
     touched: Vec<u32>,
+    // Wake-list state (used only when `P::WAKE_HINTS && P::SILENCE_IS_NOOP`).
+    /// Per-node scheduled wake round; `WAKE_IDLE` while unscheduled.
+    wake_at: Vec<u64>,
+    /// Bucketed wake-queue: wake round -> nodes scheduled for it. Entries
+    /// whose `wake_at` no longer matches the bucket key are stale and
+    /// skipped on pop.
+    wake_buckets: BTreeMap<u64, Vec<u32>>,
+    /// Nodes woken this round (scratch).
+    awake: Vec<u32>,
+    /// Nodes whose hint must be recomputed after this round (scratch).
+    dirty: Vec<u32>,
+    is_dirty: Vec<bool>,
 }
+
+/// `wake_at` sentinel: no scheduled wake.
+const WAKE_IDLE: u64 = u64::MAX;
 
 impl<P: Protocol> Simulator<P> {
     /// Creates a simulator over `graph` with the given collision mode and
@@ -88,7 +206,7 @@ impl<P: Protocol> Simulator<P> {
         let n = graph.node_count();
         let nodes: Vec<P> = (0..n).map(|i| init(NodeId::new(i))).collect();
         let rngs: Vec<SmallRng> = (0..n).map(|i| rng::stream_rng(master_seed, i as u64)).collect();
-        Simulator {
+        let mut sim = Simulator {
             graph,
             mode,
             nodes,
@@ -101,10 +219,102 @@ impl<P: Protocol> Simulator<P> {
             transmitted: vec![false; n],
             txs: Vec::new(),
             touched: Vec::new(),
+            wake_at: Vec::new(),
+            wake_buckets: BTreeMap::new(),
+            awake: Vec::new(),
+            dirty: Vec::new(),
+            is_dirty: Vec::new(),
+        };
+        if Self::WAKE_PATH {
+            sim.wake_at = vec![WAKE_IDLE; n];
+            sim.is_dirty = vec![false; n];
+            for i in 0..n {
+                sim.schedule(i, 0);
+            }
+        }
+        sim
+    }
+
+    /// Whether this protocol engages the wake-list fast path.
+    const WAKE_PATH: bool = P::WAKE_HINTS && P::SILENCE_IS_NOOP;
+
+    /// Recomputes node `i`'s wake hint for `next_round` and queues it.
+    fn schedule(&mut self, i: usize, next_round: u64) {
+        let at = match self.nodes[i].next_wake(next_round) {
+            Wake::Now => next_round,
+            Wake::At(r) => r.max(next_round),
+            Wake::Idle => WAKE_IDLE,
+        };
+        if self.wake_at[i] == at {
+            return;
+        }
+        self.wake_at[i] = at;
+        if at != WAKE_IDLE {
+            self.wake_buckets.entry(at).or_default().push(i as u32);
         }
     }
 
+    /// Pops every node scheduled to wake at or before `round` into `awake`,
+    /// marking them dirty (their hint is consumed).
+    fn drain_wakeable(&mut self, round: u64) {
+        self.awake.clear();
+        while let Some((&key, _)) = self.wake_buckets.first_key_value() {
+            if key > round {
+                break;
+            }
+            let bucket = self.wake_buckets.remove(&key).expect("key just seen");
+            for &i in &bucket {
+                let i = i as usize;
+                // Skip stale entries (the node was rescheduled since).
+                if self.wake_at[i] != key {
+                    continue;
+                }
+                self.wake_at[i] = WAKE_IDLE;
+                self.awake.push(i as u32);
+                self.mark_dirty(i);
+            }
+        }
+    }
+
+    fn mark_dirty(&mut self, i: usize) {
+        if !self.is_dirty[i] {
+            self.is_dirty[i] = true;
+            self.dirty.push(i as u32);
+        }
+    }
+
+    /// The next round in which any node is scheduled to wake
+    /// (`WAKE_IDLE` if none).
+    fn next_wake_round(&self) -> u64 {
+        self.wake_buckets.first_key_value().map_or(WAKE_IDLE, |(&k, _)| k)
+    }
+
+    /// Number of fully-idle rounds (at most `max`) that can be skipped
+    /// without simulating them; `None` when the next round must be stepped.
+    /// Fast-forwarding is disabled while an audit probe is installed (the
+    /// probe must see every round).
+    fn idle_gap(&self, max: u64) -> Option<u64> {
+        if !Self::WAKE_PATH || self.probe.is_some() || max == 0 {
+            return None;
+        }
+        let next = self.next_wake_round();
+        if next <= self.round {
+            return None;
+        }
+        Some((next - self.round).min(max))
+    }
+
+    /// Fast-forwards `gap` fully-idle rounds in `O(1)`.
+    fn fast_forward(&mut self, gap: u64) {
+        self.round += gap;
+        self.stats.absorb_idle(gap, self.nodes.len());
+    }
+
     /// Installs a per-round audit probe (replacing any previous one).
+    ///
+    /// While a probe is installed, the wake-list fast-forward is disabled
+    /// (the probe must see every round); `act` calls are still skipped per
+    /// the wake hints.
     pub fn set_probe(&mut self, probe: Probe<P::Msg>) {
         self.probe = Some(probe);
     }
@@ -114,15 +324,40 @@ impl<P: Protocol> Simulator<P> {
         let round = self.round;
         let n = self.nodes.len();
 
+        // Reset the previous round's transmit flags (O(active), not O(n)).
+        for k in 0..self.txs.len() {
+            self.transmitted[self.txs[k].0.index()] = false;
+        }
         self.txs.clear();
-        for i in 0..n {
-            self.transmitted[i] = false;
-            match self.nodes[i].act(round, &mut self.rngs[i]) {
-                Action::Transmit(m) => {
-                    self.transmitted[i] = true;
-                    self.txs.push((NodeId::new(i), m));
+        let mut act_skips = 0usize;
+        if Self::WAKE_PATH {
+            // Wake-list fast path: poll only nodes whose wake round arrived;
+            // every other node is guaranteed (by the `next_wake` contract) to
+            // listen without touching its RNG or state.
+            self.drain_wakeable(round);
+            // Index order keeps the transmit list (and thus probe output and
+            // observe order) identical to the dense sweep.
+            self.awake.sort_unstable();
+            act_skips = n - self.awake.len();
+            for idx in 0..self.awake.len() {
+                let i = self.awake[idx] as usize;
+                match self.nodes[i].act(round, &mut self.rngs[i]) {
+                    Action::Transmit(m) => {
+                        self.transmitted[i] = true;
+                        self.txs.push((NodeId::new(i), m));
+                    }
+                    Action::Listen => {}
                 }
-                Action::Listen => {}
+            }
+        } else {
+            for i in 0..n {
+                match self.nodes[i].act(round, &mut self.rngs[i]) {
+                    Action::Transmit(m) => {
+                        self.transmitted[i] = true;
+                        self.txs.push((NodeId::new(i), m));
+                    }
+                    Action::Listen => {}
+                }
             }
         }
 
@@ -143,7 +378,8 @@ impl<P: Protocol> Simulator<P> {
             }
         }
 
-        let mut rstats = RoundStats { transmitters: self.txs.len(), ..RoundStats::default() };
+        let mut rstats =
+            RoundStats { transmitters: self.txs.len(), act_skips, ..RoundStats::default() };
 
         if P::SILENCE_IS_NOOP {
             // Sparse fast path: only nodes with a transmitting neighbor can
@@ -172,6 +408,11 @@ impl<P: Protocol> Simulator<P> {
                     }
                 };
                 self.nodes[i].observe(round, obs, &mut self.rngs[i]);
+                if Self::WAKE_PATH {
+                    // The observation may have changed this node's state, so
+                    // its wake hint must be recomputed.
+                    self.mark_dirty(i);
+                }
             }
             rstats.silent = n - self.txs.len() - heard;
             rstats.observe_skips = n - heard;
@@ -208,35 +449,108 @@ impl<P: Protocol> Simulator<P> {
             self.tx_count[v as usize] = 0;
         }
 
+        // Recompute the wake hints of every node whose state may have
+        // changed this round (woken nodes and touched listeners).
+        if Self::WAKE_PATH {
+            for k in 0..self.dirty.len() {
+                let i = self.dirty[k] as usize;
+                self.is_dirty[i] = false;
+                self.schedule(i, round + 1);
+            }
+            self.dirty.clear();
+        }
+
         self.round += 1;
         self.stats.absorb(rstats);
         rstats
     }
 
     /// Simulates `rounds` rounds.
+    ///
+    /// On the wake-list fast path (see [`Protocol::WAKE_HINTS`]), runs of
+    /// rounds in which every node is asleep are skipped in `O(1)` instead of
+    /// being stepped; `round` and the semantic statistics advance exactly as
+    /// if each round had been simulated.
     pub fn run(&mut self, rounds: u64) {
-        for _ in 0..rounds {
-            self.step();
+        let mut left = rounds;
+        while left > 0 {
+            if let Some(gap) = self.idle_gap(left) {
+                self.fast_forward(gap);
+                left -= gap;
+            } else {
+                self.step();
+                left -= 1;
+            }
         }
     }
 
     /// Runs until `done` holds (checked after every round) or `max_rounds`
     /// rounds have elapsed *in this call*.
     ///
+    /// Equivalent to [`Simulator::run_until_with`] under
+    /// [`DoneCheck::EveryRound`]; see there for the predicate-cost
+    /// discussion.
+    ///
     /// Returns the total round count (i.e. [`Simulator::round`]) at which the
     /// predicate first held, or `None` on timeout.
-    pub fn run_until(
+    pub fn run_until(&mut self, max_rounds: u64, done: impl FnMut(&[P]) -> bool) -> Option<u64> {
+        self.run_until_with(max_rounds, DoneCheck::EveryRound, done)
+    }
+
+    /// Runs until `done` holds or `max_rounds` rounds have elapsed *in this
+    /// call*, evaluating the predicate per the [`DoneCheck`] policy.
+    ///
+    /// # Predicate cost
+    ///
+    /// `done` receives every node state, so the usual
+    /// `nodes.iter().all(...)` completion predicate costs `O(n)` per
+    /// evaluation — under [`DoneCheck::EveryRound`] that makes the driver
+    /// `O(n)` per round even when the engine's fast paths made the round
+    /// itself `O(active)`. Use [`DoneCheck::OnDelivery`] (exact for
+    /// reception-driven predicates) or [`DoneCheck::Every`] to amortize.
+    ///
+    /// The predicate must be pure in the node states: fully-idle rounds
+    /// cannot change any node's state, so the wake-list fast path skips
+    /// re-evaluating `done` across them (and fast-forwards the rounds
+    /// themselves).
+    ///
+    /// Returns the total round count at which the predicate first held
+    /// (subject to the policy's check granularity), or `None` on timeout.
+    pub fn run_until_with(
         &mut self,
         max_rounds: u64,
+        check: DoneCheck,
         mut done: impl FnMut(&[P]) -> bool,
     ) -> Option<u64> {
         if done(&self.nodes) {
             return Some(self.round);
         }
-        for _ in 0..max_rounds {
-            self.step();
-            if done(&self.nodes) {
-                return Some(self.round);
+        let mut left = max_rounds;
+        let mut since_check = 0u64;
+        while left > 0 {
+            if let Some(gap) = self.idle_gap(left) {
+                // Idle rounds change no state, hence never the predicate.
+                self.fast_forward(gap);
+                left -= gap;
+                continue;
+            }
+            let rstats = self.step();
+            left -= 1;
+            let check_now = match check {
+                DoneCheck::EveryRound => true,
+                DoneCheck::Every(k) => {
+                    since_check += 1;
+                    since_check >= k.max(1) || left == 0
+                }
+                DoneCheck::OnDelivery => {
+                    rstats.deliveries > 0 || rstats.collisions > 0 || left == 0
+                }
+            };
+            if check_now {
+                since_check = 0;
+                if done(&self.nodes) {
+                    return Some(self.round);
+                }
             }
         }
         None
@@ -274,7 +588,18 @@ impl<P: Protocol> Simulator<P> {
 
     /// Mutable access to node `v` — for injecting work mid-run (e.g. handing
     /// a new message batch to the source).
+    ///
+    /// On the wake-list fast path the node is conservatively re-woken for
+    /// the next round, since external mutation invalidates its wake hint.
     pub fn node_mut(&mut self, v: NodeId) -> &mut P {
+        if Self::WAKE_PATH {
+            let i = v.index();
+            let at = self.round;
+            if self.wake_at[i] != at {
+                self.wake_at[i] = at;
+                self.wake_buckets.entry(at).or_default().push(i as u32);
+            }
+        }
         &mut self.nodes[v.index()]
     }
 
@@ -546,6 +871,225 @@ mod tests {
             );
             assert_eq!(s.observe_skips, 8 - d.deliveries - d.collisions);
         }
+    }
+
+    /// Beacons every `period` rounds when active; sleeps otherwise. Records
+    /// every RNG draw and every reception so the wake and dense paths can be
+    /// compared draw-for-draw. Generic over the wake-hint opt-in.
+    #[derive(Debug)]
+    struct Periodic<const WAKE: bool> {
+        period: u64,
+        active: bool,
+        draws: Vec<u64>,
+        heard: Vec<(u64, Option<u8>)>,
+    }
+
+    impl<const WAKE: bool> Protocol for Periodic<WAKE> {
+        type Msg = u8;
+        const SILENCE_IS_NOOP: bool = true;
+        const WAKE_HINTS: bool = WAKE;
+
+        fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<u8> {
+            if self.active && round % self.period == 0 {
+                use rand::Rng;
+                self.draws.push(rng.gen());
+                Action::Transmit((round % 251) as u8)
+            } else {
+                Action::Listen
+            }
+        }
+
+        fn observe(&mut self, round: u64, obs: Observation<u8>, _rng: &mut SmallRng) {
+            match obs {
+                Observation::Message(m) => self.heard.push((round, Some(m))),
+                Observation::Collision => self.heard.push((round, None)),
+                Observation::Silence | Observation::SelfTransmit => {}
+            }
+        }
+
+        fn next_wake(&self, round: u64) -> Wake {
+            if !self.active {
+                return Wake::Idle;
+            }
+            match round % self.period {
+                0 => Wake::Now,
+                r => Wake::At(round + self.period - r),
+            }
+        }
+    }
+
+    #[test]
+    fn wake_path_matches_dense_path() {
+        type Trace = Vec<(Vec<u64>, Vec<(u64, Option<u8>)>)>;
+        fn run<const WAKE: bool>(mode: CollisionMode, seed: u64) -> (Trace, RunStats) {
+            let g = generators::cluster_chain(4, 4);
+            let mut sim = Simulator::new(g, mode, seed, |id| Periodic::<WAKE> {
+                period: 1 + u64::from(id.raw() % 5) * 3,
+                active: id.index() % 3 != 1,
+                draws: vec![],
+                heard: vec![],
+            });
+            sim.run(300);
+            let stats = sim.stats().clone();
+            (sim.into_nodes().into_iter().map(|n| (n.draws, n.heard)).collect(), stats)
+        }
+        for mode in [CollisionMode::Detection, CollisionMode::NoDetection] {
+            for seed in [3u64, 17] {
+                let (dense, ds) = run::<false>(mode, seed);
+                let (wake, ws) = run::<true>(mode, seed);
+                assert_eq!(dense, wake, "trace diverged ({mode:?}, seed {seed})");
+                assert_eq!(
+                    (ds.rounds, ds.transmissions, ds.deliveries, ds.collisions),
+                    (ws.rounds, ws.transmissions, ws.deliveries, ws.collisions),
+                    "stats diverged ({mode:?}, seed {seed})"
+                );
+                assert_eq!(ds.act_skips, 0, "dense path must not skip acts");
+                assert!(ws.act_skips > 0, "wake path never skipped an act");
+            }
+        }
+    }
+
+    #[test]
+    fn fully_idle_run_is_fast_forwarded() {
+        let g = generators::path(64);
+        let mut sim = Simulator::new(g, CollisionMode::Detection, 0, |_| Periodic::<true> {
+            period: 1,
+            active: false,
+            draws: vec![],
+            heard: vec![],
+        });
+        sim.run(1_000_000);
+        assert_eq!(sim.round(), 1_000_000);
+        assert_eq!(sim.stats().rounds, 1_000_000);
+        assert_eq!(sim.stats().idle_fastforward, 1_000_000);
+        assert_eq!(sim.stats().act_skips, 1_000_000 * 64);
+        assert_eq!(sim.stats().observe_skips, 1_000_000 * 64);
+    }
+
+    #[test]
+    fn fast_forward_lands_on_the_next_wake() {
+        // One beacon with a long period: every gap is skipped, every beacon
+        // round is simulated, and deliveries match the dense path.
+        let g = generators::path(3);
+        let mut sim = Simulator::new(g, CollisionMode::Detection, 1, |id| Periodic::<true> {
+            period: 1000,
+            active: id.index() == 0,
+            draws: vec![],
+            heard: vec![],
+        });
+        sim.run(10_000);
+        assert_eq!(sim.stats().transmissions, 10);
+        assert_eq!(sim.stats().deliveries, 10);
+        assert!(sim.stats().idle_fastforward >= 9_900);
+        assert_eq!(
+            sim.node(NodeId::new(1)).heard.iter().map(|&(r, _)| r).collect::<Vec<_>>(),
+            (0..10u64).map(|k| k * 1000).collect::<Vec<_>>()
+        );
+    }
+
+    /// Sleeps until it hears anything, then beacons every round — checks
+    /// that observations re-wake sleeping nodes.
+    #[derive(Debug)]
+    struct Relay<const WAKE: bool> {
+        active: bool,
+        informed_at: Option<u64>,
+    }
+
+    impl<const WAKE: bool> Protocol for Relay<WAKE> {
+        type Msg = u8;
+        const SILENCE_IS_NOOP: bool = true;
+        const WAKE_HINTS: bool = WAKE;
+        fn act(&mut self, _round: u64, _rng: &mut SmallRng) -> Action<u8> {
+            if self.active {
+                Action::Transmit(1)
+            } else {
+                Action::Listen
+            }
+        }
+        fn observe(&mut self, round: u64, obs: Observation<u8>, _rng: &mut SmallRng) {
+            if obs.is_signal() && !self.active {
+                self.active = true;
+                self.informed_at = Some(round);
+            }
+        }
+        fn next_wake(&self, _round: u64) -> Wake {
+            if self.active {
+                Wake::Now
+            } else {
+                Wake::Idle
+            }
+        }
+    }
+
+    #[test]
+    fn observation_rewakes_sleeping_nodes() {
+        fn informed<const WAKE: bool>() -> Vec<Option<u64>> {
+            let g = generators::path(12);
+            let mut sim = Simulator::new(g, CollisionMode::Detection, 0, |id| Relay::<WAKE> {
+                active: id.index() == 0,
+                informed_at: None,
+            });
+            sim.run(40);
+            sim.into_nodes().into_iter().map(|n| n.informed_at).collect()
+        }
+        let dense = informed::<false>();
+        let wake = informed::<true>();
+        assert_eq!(dense, wake);
+        // The wave must actually have propagated.
+        assert_eq!(wake[11], Some(10));
+    }
+
+    #[test]
+    fn node_mut_rewakes_a_sleeper() {
+        let g = generators::path(2);
+        let mut sim = Simulator::new(g, CollisionMode::Detection, 0, |_| Relay::<true> {
+            active: false,
+            informed_at: None,
+        });
+        sim.run(100);
+        assert_eq!(sim.stats().transmissions, 0);
+        sim.node_mut(NodeId::new(0)).active = true;
+        sim.run(5);
+        // Node 0 beacons all 5 rounds; node 1 hears it at round 100 and
+        // relays for the remaining 4.
+        assert_eq!(sim.stats().transmissions, 9, "mutated node was not re-woken");
+        assert_eq!(sim.node(NodeId::new(1)).informed_at, Some(100));
+    }
+
+    #[test]
+    fn run_until_with_on_delivery_is_exact_for_reception() {
+        fn completion(check: DoneCheck) -> Option<u64> {
+            let g = generators::path(8);
+            let mut sim = Simulator::new(g, CollisionMode::Detection, 0, |id| Relay::<true> {
+                active: id.index() == 0,
+                informed_at: None,
+            });
+            sim.run_until_with(100, check, |ns| ns.iter().all(|n| n.active))
+        }
+        let exact = completion(DoneCheck::EveryRound);
+        assert_eq!(completion(DoneCheck::OnDelivery), exact);
+        // Interval checking may overshoot by < k.
+        let coarse = completion(DoneCheck::Every(16)).unwrap();
+        assert!(coarse >= exact.unwrap() && coarse < exact.unwrap() + 16);
+    }
+
+    #[test]
+    fn run_until_fast_forwards_idle_tails() {
+        // All nodes informed after 3 rounds; predicate never true -> the
+        // remaining budget must be fast-forwarded, not stepped.
+        let g = generators::path(4);
+        let mut sim = Simulator::new(g, CollisionMode::Detection, 0, |id| Periodic::<true> {
+            period: 1,
+            active: id.index() == 0,
+            draws: vec![],
+            heard: vec![],
+        });
+        sim.node_mut(NodeId::new(0)).active = false;
+        let res = sim.run_until(50_000, |_| false);
+        assert_eq!(res, None);
+        assert_eq!(sim.round(), 50_000);
+        // Round 0 is stepped (the node_mut wake); everything after is idle.
+        assert_eq!(sim.stats().idle_fastforward, 49_999);
     }
 
     #[test]

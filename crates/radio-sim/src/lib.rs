@@ -70,7 +70,7 @@ pub mod model;
 pub mod rng;
 pub mod trace;
 
-pub use engine::{Protocol, Simulator};
+pub use engine::{DenseWrap, DoneCheck, Protocol, Simulator, Wake};
 pub use graph::Graph;
 pub use ids::NodeId;
 pub use model::{Action, CollisionMode, Observation};

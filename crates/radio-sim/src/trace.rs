@@ -17,6 +17,9 @@ pub struct RoundStats {
     /// Observe calls skipped by the sparse fast path
     /// (see `Protocol::SILENCE_IS_NOOP`); 0 on the dense path.
     pub observe_skips: usize,
+    /// Act calls skipped by the wake-list fast path
+    /// (see `Protocol::WAKE_HINTS`); 0 on the dense path.
+    pub act_skips: usize,
 }
 
 /// Aggregated statistics over a whole run.
@@ -32,6 +35,13 @@ pub struct RunStats {
     pub collisions: u64,
     /// Total observe calls skipped by the sparse fast path.
     pub observe_skips: u64,
+    /// Total act calls skipped by the wake-list fast path.
+    pub act_skips: u64,
+    /// Fully-idle rounds fast-forwarded in `O(1)` (no `act`/`observe` call at
+    /// all; the rounds are still counted in [`RunStats::rounds`] and in the
+    /// skip totals, so a fast-forwarded run reports the same semantic trace
+    /// as one that stepped every round).
+    pub idle_fastforward: u64,
 }
 
 impl RunStats {
@@ -42,6 +52,18 @@ impl RunStats {
         self.deliveries += r.deliveries as u64;
         self.collisions += r.collisions as u64;
         self.observe_skips += r.observe_skips as u64;
+        self.act_skips += r.act_skips as u64;
+    }
+
+    /// Folds `rounds` fully-idle rounds (of an `n`-node network) into the
+    /// totals in one step — the bulk accounting of the wake-list
+    /// fast-forward. Every skipped round contributes exactly what stepping it
+    /// would have: `n` skipped observes and `n` skipped acts.
+    pub fn absorb_idle(&mut self, rounds: u64, n: usize) {
+        self.rounds += rounds;
+        self.observe_skips += rounds * n as u64;
+        self.act_skips += rounds * n as u64;
+        self.idle_fastforward += rounds;
     }
 
     /// Deliveries per transmission — a utilization figure of merit.
@@ -80,6 +102,7 @@ mod tests {
             collisions: 1,
             silent: 0,
             observe_skips: 0,
+            act_skips: 0,
         });
         run.absorb(RoundStats {
             transmitters: 1,
@@ -87,6 +110,7 @@ mod tests {
             collisions: 0,
             silent: 4,
             observe_skips: 0,
+            act_skips: 0,
         });
         assert_eq!(run.rounds, 2);
         assert_eq!(run.transmissions, 4);
@@ -104,6 +128,7 @@ mod tests {
             collisions: 0,
             silent: 0,
             observe_skips: 0,
+            act_skips: 0,
         });
         assert!((run.delivery_ratio() - 0.5).abs() < 1e-12);
     }

@@ -11,7 +11,7 @@ use broadcast::schedule::{EmptyBehavior, SchedLabels, ScheduleConfig, SlowKey};
 use broadcast::Params;
 use radio_sim::graph::generators;
 use radio_sim::rng::stream_rng;
-use radio_sim::{CollisionMode, NodeId, Simulator};
+use radio_sim::{CollisionMode, DoneCheck, NodeId, Simulator};
 use rlnc::gf2::BitVec;
 
 fn main() {
@@ -52,8 +52,13 @@ fn main() {
             node
         }
     });
+    // Routing completion only advances on packet receptions, so the
+    // delivery-gated policy is exact and skips the O(n) predicate scan in
+    // silent rounds.
     let routing = sim
-        .run_until(4_000_000, |ns| ns.iter().all(RoutingNode::is_complete))
+        .run_until_with(4_000_000, DoneCheck::OnDelivery, |ns| {
+            ns.iter().all(RoutingNode::is_complete)
+        })
         .expect("routing completes");
     println!("plain routing, same schedule: {routing} rounds");
 }

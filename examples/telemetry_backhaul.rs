@@ -1,6 +1,9 @@
 //! Telemetry backhaul: a gateway streams k sensor frames through a network
 //! it has no map of — Theorem 1.3 end to end (collision-wave layering,
-//! distributed GST, distributed virtual labels, batched RLNC, FEC handoffs).
+//! distributed GST, distributed virtual labels, batched RLNC, FEC handoffs),
+//! run **adaptively**: every phase window closes via in-model status beeps
+//! as soon as its work is done, with `GhkMultiPlan::total_rounds()` kept as
+//! the worst-case cap.
 //!
 //! ```sh
 //! cargo run --release --example telemetry_backhaul
@@ -25,10 +28,16 @@ fn main() {
 
     let out = broadcast_unknown(&graph, NodeId::new(0), &frames, &params, 11, BatchMode::FullK);
     match out.completion_round {
-        Some(r) => println!(
-            "all frames decoded everywhere after {r} rounds (budget {})",
-            out.rounds_budget
-        ),
+        Some(r) => {
+            println!(
+                "all frames decoded everywhere after {r} rounds \
+                 (worst-case cap {}, {:.0}x headroom)",
+                out.rounds_budget,
+                out.rounds_budget as f64 / r.max(1) as f64
+            );
+            println!("  phase breakdown: {:?}", out.phases);
+            println!("  channel: {}", out.stats);
+        }
         None => println!("streaming failed within {} rounds", out.rounds_budget),
     }
 }

@@ -1,12 +1,153 @@
-//! A run is a pure function of (graph, protocol, master seed).
+//! A run is a pure function of (graph, protocol, master seed) — and the
+//! engine's wake-list fast path is a faithful replay of the dense sweep:
+//! identical observations, statistics and per-node RNG draws.
 
-use broadcast::multi_message::{broadcast_known, broadcast_unknown, BatchMode};
+use broadcast::decay::{DecayBroadcast, DecayMsg, MmvDecayBroadcast};
+use broadcast::multi_message::{
+    broadcast_known, broadcast_unknown, BatchMode, GhkMultiNode, GhkMultiPlan,
+};
 use broadcast::schedule::{EmptyBehavior, SlowKey};
 use broadcast::single_message::{broadcast_single, broadcast_single_in_mode};
 use broadcast::Params;
-use radio_sim::graph::generators;
-use radio_sim::{CollisionMode, NodeId};
+use radio_sim::graph::{generators, Traversal};
+use radio_sim::{CollisionMode, DenseWrap, NodeId, Protocol, RunStats, Simulator};
 use rlnc::gf2::BitVec;
+
+/// Runs `make`'s protocol through both engine paths (wake-list vs dense
+/// sweep) for `rounds`, returning the per-node extracts and channel stats of
+/// each. Any RNG-draw divergence between the paths shows up as a
+/// transmission/observation difference, so equal extracts + stats pin the
+/// full trace.
+fn both_paths<P, S>(
+    g: &radio_sim::Graph,
+    mode: CollisionMode,
+    seed: u64,
+    rounds: u64,
+    make: impl Fn(NodeId) -> P + Copy,
+    extract: impl Fn(&P) -> S,
+) -> ((Vec<S>, RunStats), (Vec<S>, RunStats))
+where
+    P: Protocol,
+{
+    let mut wake = Simulator::new(g.clone(), mode, seed, make);
+    wake.run(rounds);
+    let w = (wake.nodes().iter().map(&extract).collect(), wake.stats().clone());
+    let mut dense = Simulator::new(g.clone(), mode, seed, |id| DenseWrap(make(id)));
+    dense.run(rounds);
+    let d = (dense.nodes().iter().map(|n| extract(&n.0)).collect(), dense.stats().clone());
+    (w, d)
+}
+
+/// Semantic fields of [`RunStats`] (the skip counters differ between paths
+/// by design).
+fn semantic(s: &RunStats) -> (u64, u64, u64, u64) {
+    (s.rounds, s.transmissions, s.deliveries, s.collisions)
+}
+
+#[test]
+fn decay_wake_list_equals_dense_across_modes_and_seeds() {
+    let g = generators::cluster_chain(5, 4);
+    let params = Params::scaled(g.node_count());
+    for mode in [CollisionMode::Detection, CollisionMode::NoDetection] {
+        for seed in 0..4u64 {
+            let ((wn, ws), (dn, ds)) = both_paths(
+                &g,
+                mode,
+                seed,
+                1_500,
+                |id| DecayBroadcast::new(&params, (id.index() == 0).then_some(DecayMsg(7))),
+                DecayBroadcast::informed_at,
+            );
+            assert_eq!(wn, dn, "informed rounds diverged ({mode:?}, seed {seed})");
+            assert_eq!(semantic(&ws), semantic(&ds), "stats diverged ({mode:?}, seed {seed})");
+            assert!(ws.act_skips > 0 && ds.act_skips == 0);
+        }
+    }
+}
+
+#[test]
+fn mmv_decay_wake_list_equals_dense_across_modes_and_seeds() {
+    let g = generators::cluster_chain(4, 4);
+    let levels: Vec<u32> = {
+        let l = g.bfs(NodeId::new(0));
+        g.node_ids().map(|v| l.level(v)).collect()
+    };
+    let params = Params::scaled(g.node_count());
+    for mode in [CollisionMode::Detection, CollisionMode::NoDetection] {
+        for seed in 0..4u64 {
+            let ((wn, ws), (dn, ds)) = both_paths(
+                &g,
+                mode,
+                seed,
+                2_000,
+                |id| {
+                    MmvDecayBroadcast::new(
+                        &params,
+                        levels[id.index()],
+                        true,
+                        (id.index() == 0).then_some(5),
+                    )
+                },
+                MmvDecayBroadcast::informed_at,
+            );
+            assert_eq!(wn, dn, "informed rounds diverged ({mode:?}, seed {seed})");
+            assert_eq!(semantic(&ws), semantic(&ds), "stats diverged ({mode:?}, seed {seed})");
+        }
+    }
+}
+
+#[test]
+fn multi_fixed_wake_list_equals_dense_across_modes_and_seeds() {
+    // The full fixed-plan Theorem 1.3 node (wave + construction + labeling +
+    // windows + FEC handoffs) through both engine paths. NoDetection jams
+    // the wave — the trace must still replay identically.
+    let g = generators::cluster_chain(4, 4);
+    let params = Params::scaled(g.node_count());
+    let msgs: Vec<BitVec> = (0..3u64).map(|i| BitVec::from_u64(i * 9 + 1, 16)).collect();
+    let d = g.bfs(NodeId::new(0)).max_level();
+    let plan = GhkMultiPlan::new(&params, d, 3, BatchMode::FullK);
+    for mode in [CollisionMode::Detection, CollisionMode::NoDetection] {
+        for seed in 0..3u64 {
+            let ((wn, ws), (dn, ds)) = both_paths(
+                &g,
+                mode,
+                seed,
+                plan.fixed_rounds() + 1,
+                |id| {
+                    GhkMultiNode::new(
+                        &params,
+                        plan,
+                        id.raw(),
+                        16,
+                        (id.index() == 0).then(|| msgs.clone()),
+                    )
+                },
+                GhkMultiNode::messages,
+            );
+            assert_eq!(wn, dn, "decoded payloads diverged ({mode:?}, seed {seed})");
+            assert_eq!(semantic(&ws), semantic(&ds), "stats diverged ({mode:?}, seed {seed})");
+            assert!(ws.act_skips > 0, "wake path never skipped ({mode:?}, seed {seed})");
+        }
+    }
+}
+
+#[test]
+fn unknown_topology_adaptive_full_trace_deterministic() {
+    // The adaptive driver's phase decisions feed off channel-level
+    // quiescence, so completion, phase accounting and the full RunStats must
+    // replay exactly.
+    let g = generators::cluster_chain(4, 5);
+    let params = Params::scaled(20);
+    let msgs: Vec<BitVec> = (0..3u64).map(|i| BitVec::from_u64(i, 16)).collect();
+    for seed in 0..4u64 {
+        let a = broadcast_unknown(&g, NodeId::new(0), &msgs, &params, seed, BatchMode::FullK);
+        let b = broadcast_unknown(&g, NodeId::new(0), &msgs, &params, seed, BatchMode::FullK);
+        assert_eq!(a.completion_round, b.completion_round, "completion diverged (seed {seed})");
+        assert_eq!(a.stats, b.stats, "RunStats diverged (seed {seed})");
+        assert_eq!(a.phases, b.phases, "phase accounting diverged (seed {seed})");
+        assert!(a.completion_round.is_some(), "seed {seed} failed");
+    }
+}
 
 #[test]
 fn single_message_deterministic() {
