@@ -109,7 +109,7 @@ pub mod cr {
         fn observe(&mut self, round: u64, obs: Observation<CrMsg>, _rng: &mut SmallRng) {
             if let Observation::Message(m) = obs {
                 if self.message.is_none() {
-                    self.message = Some(m);
+                    self.message = Some(*m);
                     self.informed_at = Some(round + 1);
                 }
             }
@@ -241,7 +241,7 @@ pub mod routing {
         fn observe(&mut self, round: u64, obs: Observation<PlainMsg>, _rng: &mut SmallRng) {
             if let Observation::Message(m) = obs {
                 if m.fast && round % 2 == 0 {
-                    self.last_fast = Some((round, m.clone()));
+                    self.last_fast = Some((round, (*m).clone()));
                 }
                 self.store(&m);
             }

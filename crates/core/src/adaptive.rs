@@ -12,8 +12,82 @@
 //! node's construction state, and [`drive_construction`] is the
 //! rank-block/epoch/recruiting skip loop, generic over the [`ConsDriver`]
 //! hooks each pipeline driver provides.
+//!
+//! ## Segment pacing
+//!
+//! PR 4 changed how the drivers pump the simulator. Instead of setting the
+//! shared cursor cell and calling `Simulator::step` once per round, a driver
+//! now *publishes* a whole [`Segment`] — the simulator round it starts at,
+//! its length, and the phase position of its first round — and executes it
+//! with `Simulator::run_segment`, which runs on the engine's wake-list fast
+//! path (acts cost `O(awake)`; fully-idle stretches fast-forward in `O(1)`).
+//! Nodes derive their per-round phase position from the published segment
+//! (`pos.advanced(round - start)`), and their `next_wake` hints are *clamped
+//! to the segment end*: every node is polled again on the first round after
+//! the segment, which is exactly when the driver publishes the next segment
+//! or runs a status round. That clamp is the invariant that makes arbitrary
+//! driver decisions (probe outcomes, block skips, early phase closure) safe
+//! under wake hints — a sleeping node can never miss a cursor change,
+//! because every cursor change happens at a round where everyone is awake.
+//!
+//! Mid-segment completion detection stays exact: `run_segment` stops after
+//! any round that delivered a packet (the only rounds in which a
+//! reception-driven completion predicate can flip), the driver re-scans, and
+//! resumes the remainder. The executed round sequence is bit-identical to
+//! per-round stepping — [`Pacing::PerStep`] keeps the old regime available
+//! for the equivalence suites.
 
 use crate::construction::{ConstructionSchedule, GstConstructionNode};
+
+/// How an adaptive pipeline driver pumps the simulator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Pacing {
+    /// Publish batched work [`Segment`]s and run them through the engine's
+    /// wake-list fast path (the default; rounds cost `O(awake)`).
+    #[default]
+    Segment,
+    /// Poll every node every round (cursor-mode nodes answer `Wake::Now`),
+    /// reproducing the pre-segment behavior round for round. Kept for the
+    /// segment-vs-per-step equivalence suites and for A/B benchmarks.
+    PerStep,
+}
+
+/// A phase position that can be advanced by a number of work rounds — the
+/// geometry half of a [`Segment`].
+pub trait Advance: Copy {
+    /// The position `delta` work rounds later (same phase, offset shifted).
+    fn advanced(self, delta: u64) -> Self;
+}
+
+/// A published run of consecutive work rounds sharing one schedule geometry.
+///
+/// The driver sets the shared cursor cell to a segment *once*; every node
+/// then resolves the phase position of simulator round `r` in
+/// `start <= r < start + len` as `pos.advanced(r - start)` and may hint
+/// itself asleep up to (but never past) `end()`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment<P> {
+    /// Simulator round of the segment's first work round.
+    pub start: u64,
+    /// Number of consecutive work rounds published.
+    pub len: u64,
+    /// Phase position of round `start`.
+    pub pos: P,
+}
+
+impl<P: Advance> Segment<P> {
+    /// First simulator round *after* the segment — the round at which every
+    /// node's clamped wake hint fires and the driver publishes its next step.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// The phase position of simulator round `round`, or `None` outside the
+    /// segment.
+    pub fn pos_at(&self, round: u64) -> Option<P> {
+        (self.start..self.end()).contains(&round).then(|| self.pos.advanced(round - self.start))
+    }
+}
 
 /// Construction status probes: what a dedicated status round asks the
 /// nodes. Probes address ring-local boundaries/ranks, so one probe covers

@@ -433,6 +433,37 @@ impl GstConstructionNode {
         self.stats
     }
 
+    /// Wake helper for enclosing pipelines: whether [`Protocol::act`] at a
+    /// round of `ph`'s segment might transmit or draw from the RNG given the
+    /// node's current state.
+    ///
+    /// `false` promises that every `act` within the segment is a pure listen
+    /// — no transmission, no RNG draw, and no observable state change (only
+    /// the internal cursor's round offset, which nothing reads, advances).
+    /// The promise covers only the *current* state, exactly like
+    /// [`Protocol::next_wake`]: receptions can re-activate the node, and the
+    /// engine re-queries hints after every delivered observation. A pending
+    /// segment transition (`sync` has not yet seen `ph`'s segment) reports
+    /// `true`, since transitions run epilogues and may seed recruiting
+    /// machines (which draws the part-2 brisk/lazy coin).
+    pub fn may_act_in(&self, ph: &PhaseRef) -> bool {
+        let synced = self.cursor.is_some_and(|p| {
+            (p.boundary, p.rank, p.epoch, p.segment) == (ph.boundary, ph.rank, ph.epoch, ph.segment)
+        });
+        if !synced {
+            return true;
+        }
+        match ph.segment {
+            Segment::Identify => self.is_open_blue(ph),
+            Segment::StageIa => self.is_red(ph) && self.red_active,
+            Segment::StageIb => self.is_open_blue(ph) && self.blue_loner && !self.blue_temp,
+            // Recruiting machines pace themselves; their mere presence means
+            // the node may beacon/respond/echo this part.
+            Segment::Part(_) => self.red_recruit.is_some() || self.blue_recruit.is_some(),
+            Segment::StageIii => self.is_red(ph) && self.red_newly_ranked,
+        }
+    }
+
     /// This node's BFS level.
     pub fn level(&self) -> u32 {
         self.level
@@ -646,7 +677,8 @@ impl Protocol for GstConstructionNode {
 
     fn observe(&mut self, round: u64, obs: Observation<GstMsg>, _rng: &mut SmallRng) {
         let Some(ph) = self.sched.phase(round) else { return };
-        let Observation::Message(msg) = obs else { return };
+        let Observation::Message(packet) = obs else { return };
+        let msg = *packet;
 
         // Fallback-candidate tracking (blues only care on their boundary).
         if self.is_blue(&ph) {
@@ -876,7 +908,7 @@ mod tests {
         let mut rng = radio_sim::rng::stream_rng(0, 0);
         let t = sched.rank_block_start(1, 1);
         let _ = node.act(t, &mut rng); // enters the block, takes leaf rank 1
-        node.observe(t, Observation::Message(GstMsg::StageIBeacon { red: 3 }), &mut rng);
+        node.observe(t, Observation::packet(GstMsg::StageIBeacon { red: 3 }), &mut rng);
         assert_eq!(node.labels().parent, None);
         node.finalize();
         assert_eq!(node.labels().parent, Some(3), "fallback must adopt the heard red");
@@ -944,7 +976,7 @@ mod tests {
             }
             fn observe(&mut self, _r: u64, obs: Observation<u32>, _rng: &mut SmallRng) {
                 if let Observation::Message(m) = obs {
-                    self.heard.push(m);
+                    self.heard.push(*m);
                 }
             }
         }

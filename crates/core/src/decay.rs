@@ -146,7 +146,7 @@ impl Protocol for DecayBroadcast {
     fn observe(&mut self, round: u64, obs: Observation<DecayMsg>, _rng: &mut SmallRng) {
         if let Observation::Message(m) = obs {
             if self.message.is_none() {
-                self.message = Some(m);
+                self.message = Some(*m);
                 self.informed_at = Some(round + 1);
             }
         }
@@ -271,10 +271,12 @@ impl Protocol for MmvDecayBroadcast {
     }
 
     fn observe(&mut self, round: u64, obs: Observation<MmvDecayMsg>, _rng: &mut SmallRng) {
-        if let Observation::Message(MmvDecayMsg::Payload(m)) = obs {
-            if self.message.is_none() {
-                self.message = Some(m);
-                self.informed_at = Some(round + 1);
+        if let Observation::Message(p) = obs {
+            if let MmvDecayMsg::Payload(m) = *p {
+                if self.message.is_none() {
+                    self.message = Some(m);
+                    self.informed_at = Some(round + 1);
+                }
             }
         }
     }

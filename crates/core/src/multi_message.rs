@@ -44,7 +44,8 @@
 //! ring constructions).
 
 use crate::adaptive::{
-    answer_cons_probe, cons_status_budget, drive_construction, ConsDriver, ConsProbe,
+    answer_cons_probe, cons_status_budget, drive_construction, Advance, ConsDriver, ConsProbe,
+    Pacing, Segment,
 };
 use crate::construction::{ConstructionSchedule, GstConstructionNode, GstMsg};
 use crate::decay::DecaySchedule;
@@ -306,6 +307,25 @@ pub enum GhkMultiPhase {
     Done,
 }
 
+impl Advance for GhkMultiPhase {
+    fn advanced(self, delta: u64) -> Self {
+        match self {
+            GhkMultiPhase::Wave { offset } => GhkMultiPhase::Wave { offset: offset + delta },
+            GhkMultiPhase::Construct { offset } => {
+                GhkMultiPhase::Construct { offset: offset + delta }
+            }
+            GhkMultiPhase::Label { offset } => GhkMultiPhase::Label { offset: offset + delta },
+            GhkMultiPhase::Disseminate { window, offset } => {
+                GhkMultiPhase::Disseminate { window, offset: offset + delta }
+            }
+            GhkMultiPhase::Handoff { window, offset } => {
+                GhkMultiPhase::Handoff { window, offset: offset + delta }
+            }
+            GhkMultiPhase::Done => GhkMultiPhase::Done,
+        }
+    }
+}
+
 impl GhkMultiPlan {
     /// Builds the plan for `k` messages under `params`, with the fixed
     /// pipeline's ring width ([`Params::ring_width_for`]).
@@ -473,20 +493,22 @@ pub enum MultiProbe {
     },
 }
 
-/// The shared per-round directive of the adaptive Theorem 1.3 driver: a work
-/// round at a phase position (reusing [`GhkMultiPhase`] with *virtual*
-/// offsets that exclude status rounds), or a status round.
+/// The shared per-round directive of the adaptive Theorem 1.3 driver: a
+/// published [`Segment`] of work rounds (reusing [`GhkMultiPhase`] with
+/// *virtual* offsets that exclude status rounds), or a status round.
 ///
 /// All nodes observe the same status-round transcript via the idealized
 /// echo (see the `single_message` module docs), so they all hold the same
 /// cursor; the cell materializes that shared knowledge without touching the
-/// `Protocol` trait.
+/// `Protocol` trait. Work segments are set once per batch; cursor-mode wake
+/// hints sleep nodes through their provably-inert rounds but never past the
+/// segment end (see `crate::adaptive`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MultiStep {
     /// Before the first round.
     Idle,
-    /// A work round at the given phase position.
-    Work(GhkMultiPhase),
+    /// A published segment of work rounds.
+    Work(Segment<GhkMultiPhase>),
     /// A status round probing for pending work.
     Status(MultiProbe),
 }
@@ -543,6 +565,9 @@ pub struct GhkMultiNode {
     /// Window-drop counter (batch incomplete at window end).
     drops: u64,
     decay: DecaySchedule,
+    /// Whether cursor mode emits real segment wake hints
+    /// ([`Pacing::Segment`]) or `Wake::Now` every round ([`Pacing::PerStep`]).
+    seg_hints: bool,
 }
 
 impl GhkMultiNode {
@@ -581,6 +606,7 @@ impl GhkMultiNode {
             batches,
             drops: 0,
             decay: DecaySchedule::new(params.decay_phase_len()),
+            seg_hints: true,
         }
     }
 
@@ -588,6 +614,14 @@ impl GhkMultiNode {
     /// instead of the round-derived fixed phase layout.
     pub fn with_cursor(mut self, step: MultiStepCell) -> Self {
         self.step = Some(step);
+        self
+    }
+
+    /// Selects how cursor mode answers [`Protocol::next_wake`] (segment
+    /// hints vs. the per-step `Wake::Now` regime of the equivalence suites).
+    /// Fixed-plan mode is unaffected.
+    pub fn with_pacing(mut self, pacing: Pacing) -> Self {
+        self.seg_hints = pacing == Pacing::Segment;
         self
     }
 
@@ -809,6 +843,104 @@ impl GhkMultiNode {
     }
 }
 
+impl GhkMultiNode {
+    /// The cursor-mode wake hint within a published work segment: the
+    /// earliest round `>= round` at which this node's `act` might transmit,
+    /// draw from its RNG, or make an observable state change — clamped to
+    /// the segment end, so the node is re-polled whenever the driver moves
+    /// the cursor (see `crate::adaptive`).
+    fn segment_wake(&self, seg: &Segment<GhkMultiPhase>, round: u64) -> Wake {
+        let Some(pos) = seg.pos_at(round) else {
+            // Past the segment: the driver is about to publish its next step.
+            return Wake::Now;
+        };
+        // Sleeps need no clamp to the segment end: the driver force-wakes
+        // every node (`Simulator::wake_all`) before each cursor change, so
+        // hints only have to be valid while this segment stands.
+        let clamp = |r: u64| if r <= round { Wake::Now } else { Wake::At(r) };
+        let sleep = Wake::Idle;
+        let layered = self.wave.level().is_some();
+        // Parity-slotted phases: the first in-parity round and its inner
+        // (per-ring) offset.
+        let aligned = |offset: u64, parity: u64| {
+            let first = if offset % 2 == parity { round } else { round + 1 };
+            (first, (offset + (first - round)) / 2)
+        };
+        match pos {
+            GhkMultiPhase::Wave { offset } => match self.wave.level() {
+                // Re-woken by the frontier's first signal (observation).
+                None => sleep,
+                Some(l) if u64::from(l) <= offset => Wake::Now,
+                Some(l) => clamp(round + (u64::from(l) - offset)),
+            },
+            GhkMultiPhase::Construct { offset } => {
+                let Some((ring, _)) = self.ring else {
+                    return if layered { Wake::Now } else { sleep };
+                };
+                let (first, inner) = aligned(offset, u64::from(ring % 2));
+                let Some(cons) = &self.cons else { return Wake::Now };
+                // A published segment never crosses a construction-schedule
+                // segment, so one activity check covers the remainder.
+                match self.plan.cons.phase(inner) {
+                    Some(ph) if cons.may_act_in(&ph) => clamp(first),
+                    _ => sleep,
+                }
+            }
+            GhkMultiPhase::Label { offset } => {
+                let Some((ring, _)) = self.ring else {
+                    return if layered { Wake::Now } else { sleep };
+                };
+                let parity = u64::from(ring % 2);
+                let (_, inner) = aligned(offset, parity);
+                let Some(vl) = &self.vl else { return Wake::Now };
+                match vl.next_act_round(inner) {
+                    Some(next) => clamp(round + (2 * next + parity - offset)),
+                    None => sleep,
+                }
+            }
+            GhkMultiPhase::Disseminate { window, offset } => {
+                let Some((ring, _)) = self.ring else {
+                    return if layered { Wake::Now } else { sleep };
+                };
+                if self.window_seen != Some(window) || self.fec_pending.is_some() {
+                    return Wake::Now; // entry round: setup + pending harvests
+                }
+                let parity = u64::from(ring % 2);
+                let (_, inner) = aligned(offset, parity);
+                match &self.sched {
+                    Some(a) => {
+                        let next = a.node.next_act_round(inner);
+                        clamp(round + (2 * next + parity - offset))
+                    }
+                    None => sleep,
+                }
+            }
+            GhkMultiPhase::Handoff { window, offset } => {
+                let Some((ring, ring_level)) = self.ring else {
+                    return if layered { Wake::Now } else { sleep };
+                };
+                if self.handoff_seen != Some(window) {
+                    return Wake::Now; // entry round: window harvest
+                }
+                let sender = ring_level == self.plan.ring_width - 1
+                    && ring + 1 < self.plan.ring_count
+                    && self
+                        .plan
+                        .batch_in_window(window, ring)
+                        .is_some_and(|b| self.batches[b as usize].decoded.is_some());
+                if sender {
+                    let (first, _) = aligned(offset, u64::from(ring % 2));
+                    clamp(first)
+                } else {
+                    sleep
+                }
+            }
+            // The adaptive driver never publishes `Done` segments.
+            GhkMultiPhase::Done => Wake::Now,
+        }
+    }
+}
+
 impl Protocol for GhkMultiNode {
     type Msg = GhkMMsg;
 
@@ -817,17 +949,29 @@ impl Protocol for GhkMultiNode {
     const SILENCE_IS_NOOP: bool = true;
     const WAKE_HINTS: bool = true;
 
-    /// Fixed-mode wake hints (`round`-derived phases): unlayered nodes idle
-    /// until the wave reaches them; parity-slotted phases wake on the
-    /// node's parity only; dissemination sleeps between the node's MMV
-    /// schedule slots; handoffs wake only the boundary senders (plus one
-    /// entry round each for the harvest transitions); `Done` idles once
-    /// everything is harvested. Adaptive (cursor) nodes report
-    /// [`Wake::Now`] — the driver paces them, and phase positions are not a
-    /// function of the round number there.
+    /// Wake hints for both modes.
+    ///
+    /// **Fixed mode** (`round`-derived phases): unlayered nodes idle until
+    /// the wave reaches them; parity-slotted phases wake on the node's
+    /// parity only; dissemination sleeps between the node's MMV schedule
+    /// slots; handoffs wake only the boundary senders (plus one entry round
+    /// each for the harvest transitions); `Done` idles once everything is
+    /// harvested.
+    ///
+    /// **Adaptive (cursor) mode**: hints derive from the published
+    /// [`Segment`] — same phase logic with virtual offsets, clamped to the
+    /// segment end so every cursor change finds the node awake (the old
+    /// blanket `Wake::Now` fallback is gone; `tests/determinism.rs` pins the
+    /// batched trace against per-step pacing).
     fn next_wake(&self, round: u64) -> Wake {
-        if self.step.is_some() {
-            return Wake::Now;
+        if let Some(cell) = &self.step {
+            if !self.seg_hints {
+                return Wake::Now;
+            }
+            return match cell.get() {
+                MultiStep::Idle | MultiStep::Status(_) => Wake::Now,
+                MultiStep::Work(seg) => self.segment_wake(&seg, round),
+            };
         }
         let layered = self.wave.level().is_some();
         match self.plan.phase(round) {
@@ -901,6 +1045,31 @@ impl Protocol for GhkMultiNode {
     }
 
     fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<GhkMMsg> {
+        // Contract check for the wake hints (both modes): a node whose hint
+        // postponed past this round must not transmit if polled anyway
+        // (dense/per-step A/B paths poll everyone).
+        let hinted_idle = cfg!(debug_assertions)
+            && match self.next_wake(round) {
+                Wake::Now => false,
+                Wake::At(r) => r > round,
+                Wake::Idle => true,
+            };
+        let action = self.act_inner(round, rng);
+        debug_assert!(
+            !(hinted_idle && action.is_transmit()),
+            "hinted-idle node {} transmitted at round {round}",
+            self.id
+        );
+        action
+    }
+
+    fn observe(&mut self, round: u64, obs: Observation<GhkMMsg>, rng: &mut SmallRng) {
+        self.observe_inner(round, obs, rng);
+    }
+}
+
+impl GhkMultiNode {
+    fn act_inner(&mut self, round: u64, rng: &mut SmallRng) -> Action<GhkMMsg> {
         let phase = match self.step.as_ref().map(|c| c.get()) {
             Some(MultiStep::Idle) => return Action::Listen,
             Some(MultiStep::Status(p)) => {
@@ -910,7 +1079,9 @@ impl Protocol for GhkMultiNode {
                     Action::Listen
                 };
             }
-            Some(MultiStep::Work(pos)) => pos,
+            Some(MultiStep::Work(seg)) => {
+                seg.pos_at(round).expect("act within the published segment")
+            }
             None => self.plan.phase(round),
         };
         self.flush_fec(phase);
@@ -1000,16 +1171,21 @@ impl Protocol for GhkMultiNode {
         }
     }
 
-    fn observe(&mut self, round: u64, obs: Observation<GhkMMsg>, rng: &mut SmallRng) {
+    fn observe_inner(&mut self, round: u64, obs: Observation<GhkMMsg>, rng: &mut SmallRng) {
         let phase = match self.step.as_ref().map(|c| c.get()) {
             Some(MultiStep::Idle) | Some(MultiStep::Status(_)) => return,
-            Some(MultiStep::Work(pos)) => pos,
+            Some(MultiStep::Work(seg)) => {
+                seg.pos_at(round).expect("observation within the published segment")
+            }
             None => self.plan.phase(round),
         };
         match phase {
             GhkMultiPhase::Wave { offset } => {
-                let mapped = match obs {
-                    Observation::Message(GhkMMsg::Wave(b)) => Observation::Message(b),
+                let mapped = match &obs {
+                    Observation::Message(p) => match &**p {
+                        GhkMMsg::Wave(b) => Observation::packet(*b),
+                        _ => Observation::Silence,
+                    },
                     Observation::Collision => Observation::Collision,
                     Observation::SelfTransmit => Observation::SelfTransmit,
                     _ => Observation::Silence,
@@ -1025,8 +1201,11 @@ impl Protocol for GhkMultiNode {
                 if offset % 2 != u64::from(ring % 2) {
                     return;
                 }
-                let mapped = match obs {
-                    Observation::Message(GhkMMsg::Gst(m)) => Observation::Message(m),
+                let mapped = match &obs {
+                    Observation::Message(p) => match &**p {
+                        GhkMMsg::Gst(m) => Observation::packet(*m),
+                        _ => Observation::Silence,
+                    },
                     Observation::Collision => Observation::Collision,
                     Observation::SelfTransmit => Observation::SelfTransmit,
                     _ => Observation::Silence,
@@ -1040,8 +1219,11 @@ impl Protocol for GhkMultiNode {
                 if offset % 2 != u64::from(ring % 2) {
                     return;
                 }
-                let mapped = match obs {
-                    Observation::Message(GhkMMsg::Vl(m)) => Observation::Message(m),
+                let mapped = match &obs {
+                    Observation::Message(p) => match &**p {
+                        GhkMMsg::Vl(m) => Observation::packet(*m),
+                        _ => Observation::Silence,
+                    },
                     Observation::Collision => Observation::Collision,
                     Observation::SelfTransmit => Observation::SelfTransmit,
                     _ => Observation::Silence,
@@ -1062,14 +1244,15 @@ impl Protocol for GhkMultiNode {
                     offset
                 };
                 let Some(active) = self.sched.as_mut() else { return };
-                let mapped = match obs {
-                    Observation::Message(GhkMMsg::Sched { batch, msg })
-                        if batch == active.batch =>
-                    {
-                        Observation::Message(msg)
-                    }
-                    // Other batches' packets are noise for this node.
-                    Observation::Message(_) => Observation::Silence,
+                let mapped = match &obs {
+                    Observation::Message(p) => match &**p {
+                        GhkMMsg::Sched { batch, msg } if *batch == active.batch => {
+                            Observation::packet(msg.clone())
+                        }
+                        // Other batches' packets are noise for this node —
+                        // dropped here without ever copying the payload.
+                        _ => Observation::Silence,
+                    },
                     Observation::Collision => Observation::Collision,
                     Observation::SelfTransmit => Observation::SelfTransmit,
                     _ => Observation::Silence,
@@ -1090,13 +1273,16 @@ impl Protocol for GhkMultiNode {
                 if self.batches[batch as usize].decoded.is_some() {
                     return;
                 }
-                if let Observation::Message(GhkMMsg::Fec { batch: b, packet }) = obs {
-                    if b == batch {
+                if let Observation::Message(p) = &obs {
+                    if let GhkMMsg::Fec { batch: b, packet } = &**p {
+                        if *b != batch {
+                            return;
+                        }
                         let klen = self.plan.batch_range(batch).len();
                         let slot = &mut self.batches[batch as usize];
                         let fec =
                             slot.fec.get_or_insert_with(|| Decoder::new(klen, self.payload_bits));
-                        fec.insert(packet);
+                        fec.insert(packet.clone());
                         // Harvested at the first act after this handoff
                         // closes (see `flush_fec`).
                         self.fec_pending = Some((window, batch));
@@ -1125,8 +1311,15 @@ struct MultiDriver {
 }
 
 impl MultiDriver {
-    fn exec(&mut self, step: MultiStep) -> RoundStats {
+    /// Moves the shared cursor: every cell change force-wakes all nodes
+    /// (their hints were computed against the outgoing cell).
+    fn publish(&mut self, step: MultiStep) {
+        self.sim.wake_all();
         self.step.set(step);
+    }
+
+    fn exec(&mut self, step: MultiStep) -> RoundStats {
+        self.publish(step);
         let stats = self.sim.step();
         // Completion is reception-driven (`is_complete`'s pending-decoder
         // arms flip only when a packet is inserted), so the O(n · batches)
@@ -1138,6 +1331,28 @@ impl MultiDriver {
             self.completion = Some(self.sim.round());
         }
         stats
+    }
+
+    /// Publishes `len` consecutive work rounds starting at phase position
+    /// `pos` as one [`Segment`] and runs them through the engine's wake fast
+    /// path, stopping after delivery rounds to re-evaluate completion
+    /// (exactly the per-step driver's delivery-gated scan). Returns the
+    /// number of rounds actually executed.
+    fn exec_segment(&mut self, pos: GhkMultiPhase, len: u64) -> u64 {
+        let start = self.sim.round();
+        self.publish(MultiStep::Work(Segment { start, len, pos }));
+        let mut run = 0u64;
+        while run < len && !self.done() {
+            let seg = self.sim.run_segment(len - run, true);
+            run += seg.rounds;
+            if seg.stopped_on_delivery
+                && self.completion.is_none()
+                && self.sim.nodes().iter().all(GhkMultiNode::is_complete)
+            {
+                self.completion = Some(self.sim.round());
+            }
+        }
+        run
     }
 
     fn done(&self) -> bool {
@@ -1170,7 +1385,7 @@ impl MultiDriver {
         budget: u64,
         probe: MultiProbe,
         probe_first: bool,
-        mut work: impl FnMut(u64) -> GhkMultiPhase,
+        work: impl Fn(u64) -> GhkMultiPhase,
         count: fn(&mut MultiPhaseRounds) -> &mut u64,
     ) {
         let slack = self.quiescence_slack.max(1);
@@ -1184,15 +1399,10 @@ impl MultiDriver {
             }
         }
         while spent < budget && !self.done() {
-            for _ in 0..self.beep {
-                if spent >= budget || self.done() {
-                    return;
-                }
-                self.exec(MultiStep::Work(work(offset)));
-                *count(&mut self.phases) += 1;
-                offset += 1;
-                spent += 1;
-            }
+            let run = self.exec_segment(work(offset), self.beep.min(budget - spent));
+            *count(&mut self.phases) += run;
+            offset += run;
+            spent += run;
             if spent >= budget || self.done() {
                 return;
             }
@@ -1242,15 +1452,10 @@ impl MultiDriver {
     }
 
     /// Runs `len` labeling schedule rounds from schedule round `start`,
-    /// 2-slotted by ring parity.
+    /// 2-slotted by ring parity, as one published segment.
     fn label_run(&mut self, start: u64, len: u64) {
-        for o in 2 * start..2 * (start + len) {
-            if self.done() {
-                return;
-            }
-            self.exec(MultiStep::Work(GhkMultiPhase::Label { offset: o }));
-            self.phases.label += 1;
-        }
+        let run = self.exec_segment(GhkMultiPhase::Label { offset: 2 * start }, 2 * len);
+        self.phases.label += run;
     }
 
     fn run(mut self) -> MultiOutcome {
@@ -1341,15 +1546,11 @@ impl ConsDriver for MultiDriver {
     }
 
     fn cons_run(&mut self, start: u64, len: u64) {
-        for o in start..start + len {
-            for parity in 0..2u64 {
-                if self.done() {
-                    return;
-                }
-                self.exec(MultiStep::Work(GhkMultiPhase::Construct { offset: 2 * o + parity }));
-                self.phases.construct += 1;
-            }
-        }
+        // One segment per 2-slotted sub-window; the shared skip loop only
+        // requests runs within a single construction-schedule segment, which
+        // keeps the `may_act_in` wake hints valid across the batch.
+        let run = self.exec_segment(GhkMultiPhase::Construct { offset: 2 * start }, 2 * len);
+        self.phases.construct += run;
     }
 
     fn finished(&self) -> bool {
@@ -1378,14 +1579,63 @@ pub fn broadcast_unknown(
     seed: u64,
     mode: BatchMode,
 ) -> MultiOutcome {
+    broadcast_unknown_with(graph, source, messages, params, seed, MultiRunOpts::new(mode))
+}
+
+/// Knobs of [`broadcast_unknown_with`] beyond the theorem's defaults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultiRunOpts {
+    /// Message batching.
+    pub batch: BatchMode,
+    /// Collision-detection mode (the theorem needs
+    /// [`CollisionMode::Detection`]; `NoDetection` exists for determinism
+    /// and ablation tests — the wave jams and the run caps out gracefully).
+    pub mode: CollisionMode,
+    /// Driver pacing — [`Pacing::PerStep`] reproduces the batched run round
+    /// for round with every node polled every round (equivalence suites).
+    pub pacing: Pacing,
+}
+
+impl MultiRunOpts {
+    /// Theorem 1.3 defaults: collision detection on, segment pacing.
+    pub fn new(batch: BatchMode) -> Self {
+        MultiRunOpts { batch, mode: CollisionMode::Detection, pacing: Pacing::Segment }
+    }
+
+    /// Overrides the collision mode.
+    pub fn with_mode(mut self, mode: CollisionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the driver pacing.
+    pub fn with_pacing(mut self, pacing: Pacing) -> Self {
+        self.pacing = pacing;
+        self
+    }
+}
+
+/// [`broadcast_unknown`] with explicit [`MultiRunOpts`].
+///
+/// # Panics
+///
+/// Panics if `messages` is empty or the graph is empty.
+pub fn broadcast_unknown_with(
+    graph: &Graph,
+    source: NodeId,
+    messages: &[BitVec],
+    params: &Params,
+    seed: u64,
+    opts: MultiRunOpts,
+) -> MultiOutcome {
     use radio_sim::graph::Traversal;
     assert!(!messages.is_empty(), "need at least one message");
     assert!(graph.node_count() > 0, "graph must be non-empty");
     let payload_bits = messages[0].len();
     let d = graph.bfs(source).max_level();
-    let plan = GhkMultiPlan::new_adaptive(params, d.max(1), messages.len(), mode);
+    let plan = GhkMultiPlan::new_adaptive(params, d.max(1), messages.len(), opts.batch);
     let step: MultiStepCell = Rc::new(Cell::new(MultiStep::Idle));
-    let sim = Simulator::new(graph.clone(), CollisionMode::Detection, seed, |id| {
+    let sim = Simulator::new(graph.clone(), opts.mode, seed, |id| {
         GhkMultiNode::new(
             params,
             plan,
@@ -1394,6 +1644,7 @@ pub fn broadcast_unknown(
             (id == source).then(|| messages.to_vec()),
         )
         .with_cursor(Rc::clone(&step))
+        .with_pacing(opts.pacing)
     });
     MultiDriver {
         sim,

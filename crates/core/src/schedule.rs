@@ -337,13 +337,17 @@ impl Protocol for MmvScheduleNode {
 
     fn observe(&mut self, round: u64, obs: Observation<SchedMsg>, _rng: &mut SmallRng) {
         match obs {
-            Observation::Message(SchedMsg::Coded { fast, packet }) => {
-                if fast && round % 2 == 0 {
-                    self.last_fast = Some((round, packet.clone()));
+            // `into_inner` clones only while the packet is still shared with
+            // the engine's store; pipeline remaps hand over a unique packet.
+            Observation::Message(p) => match p.into_inner() {
+                SchedMsg::Coded { fast, packet } => {
+                    if fast && round % 2 == 0 {
+                        self.last_fast = Some((round, packet.clone()));
+                    }
+                    self.decoder.insert(packet);
                 }
-                self.decoder.insert(packet);
-            }
-            Observation::Message(SchedMsg::Noise) => {}
+                SchedMsg::Noise => {}
+            },
             Observation::Collision => {
                 if round % 2 == 0 {
                     if self.parent_wave_slot(round) {

@@ -58,7 +58,8 @@
 //! run — `tests/regression_rounds.rs` asserts it.
 
 use crate::adaptive::{
-    answer_cons_probe, cons_status_budget, drive_construction, ConsDriver, ConsProbe,
+    answer_cons_probe, cons_status_budget, drive_construction, Advance, ConsDriver, ConsProbe,
+    Pacing, Segment,
 };
 use crate::construction::{ConstructionSchedule, GstConstructionNode, GstMsg};
 use crate::decay::DecaySchedule;
@@ -69,7 +70,7 @@ use crate::schedule::{
 };
 use radio_sim::model::PacketBits;
 use radio_sim::trace::{RoundStats, RunStats};
-use radio_sim::{Action, CollisionMode, Graph, NodeId, Observation, Protocol, Simulator};
+use radio_sim::{Action, CollisionMode, Graph, NodeId, Observation, Protocol, Simulator, Wake};
 use rand::rngs::SmallRng;
 use rlnc::gf2::BitVec;
 use std::cell::Cell;
@@ -136,6 +137,21 @@ pub enum PhasePos {
     },
 }
 
+impl Advance for PhasePos {
+    fn advanced(self, delta: u64) -> Self {
+        match self {
+            PhasePos::Wave { offset } => PhasePos::Wave { offset: offset + delta },
+            PhasePos::Construct { offset } => PhasePos::Construct { offset: offset + delta },
+            PhasePos::Broadcast { ring, offset } => {
+                PhasePos::Broadcast { ring, offset: offset + delta }
+            }
+            PhasePos::Handoff { ring, offset } => {
+                PhasePos::Handoff { ring, offset: offset + delta }
+            }
+        }
+    }
+}
+
 /// What a status round asks: a node transmits a beep iff the predicate holds
 /// for it. Construction probes (see [`ConsProbe`]) address ring-local
 /// boundaries/ranks, so one probe covers every ring at once (the rings share
@@ -163,12 +179,18 @@ pub enum Probe {
 /// All nodes observe the same status-round transcript (via the idealized
 /// echo, see the module docs), so they all hold the same cursor; the cell
 /// materializes that shared knowledge without touching the `Protocol` trait.
+///
+/// Work rounds are published as whole [`Segment`]s (start round + schedule
+/// geometry, set once per batch): nodes resolve a round's [`PhasePos`] from
+/// the segment, and their wake hints may sleep them through the rounds of
+/// the segment in which they are provably inert — never past its end, so
+/// every cursor change finds all nodes awake (see `crate::adaptive`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Step {
     /// Before the first round.
     Idle,
-    /// A work round of the current phase.
-    Work(PhasePos),
+    /// A published segment of work rounds of the current phase.
+    Work(Segment<PhasePos>),
     /// A status round probing for pending work.
     Status(Probe),
 }
@@ -260,6 +282,9 @@ pub struct Ghk1Node {
     sched: Option<MmvScheduleNode>,
     message: Option<u64>,
     decay: DecaySchedule,
+    /// Whether this node emits real segment wake hints ([`Pacing::Segment`])
+    /// or answers [`Wake::Now`] every round ([`Pacing::PerStep`]).
+    seg_hints: bool,
 }
 
 impl Ghk1Node {
@@ -284,7 +309,15 @@ impl Ghk1Node {
             sched: None,
             message,
             decay: DecaySchedule::new(params.decay_phase_len()),
+            seg_hints: true,
         }
+    }
+
+    /// Selects how the node answers [`Protocol::next_wake`] (segment hints
+    /// vs. the per-step `Wake::Now` regime used by the equivalence suites).
+    pub fn with_pacing(mut self, pacing: Pacing) -> Self {
+        self.seg_hints = pacing == Pacing::Segment;
+        self
     }
 
     /// Whether this node holds (or has decoded) the message.
@@ -408,28 +441,207 @@ impl Ghk1Node {
     }
 }
 
+impl Ghk1Node {
+    /// The wake hint within a published work segment: the earliest round
+    /// `>= round` at which this node's `act` might transmit, draw from its
+    /// RNG, or make an observable state change — clamped to the segment end,
+    /// so the node is always re-polled when the driver publishes its next
+    /// step (status round or new segment).
+    fn segment_wake(&self, seg: &Segment<PhasePos>, round: u64) -> Wake {
+        let Some(pos) = seg.pos_at(round) else {
+            // `round` is past the segment (hints are queried for the round
+            // *after* the segment's last one): the driver is about to move
+            // the cursor, so the node must be polled.
+            return Wake::Now;
+        };
+        // Sleeps need no clamp to the segment end: the driver force-wakes
+        // every node (`Simulator::wake_all`) before each cursor change, so
+        // hints only have to be valid while this segment stands.
+        let clamp = |r: u64| if r <= round { Wake::Now } else { Wake::At(r) };
+        let sleep = Wake::Idle;
+        let layered = self.wave.level().is_some();
+        match pos {
+            PhasePos::Wave { offset } => match self.wave.level() {
+                // Re-woken by the frontier's first signal (observation).
+                None => sleep,
+                Some(l) if u64::from(l) <= offset => Wake::Now,
+                Some(l) => clamp(round + (u64::from(l) - offset)),
+            },
+            PhasePos::Construct { offset } => {
+                let Some((ring, _)) = self.ring else {
+                    // Layered but ring not derived yet: next act derives it.
+                    return if layered { Wake::Now } else { sleep };
+                };
+                let parity = u64::from(ring % 2);
+                let first = if offset % 2 == parity { round } else { round + 1 };
+                let Some(cons) = &self.cons else { return Wake::Now };
+                // One engine segment never crosses a construction-schedule
+                // segment (the driver publishes per sub-segment), so one
+                // activity check covers the whole remainder.
+                match self.plan.cons.phase((offset + (first - round)) / 2) {
+                    Some(ph) if cons.may_act_in(&ph) => clamp(first),
+                    Some(_) => sleep,
+                    None => sleep,
+                }
+            }
+            PhasePos::Broadcast { ring, offset } => {
+                let Some((my_ring, _)) = self.ring else {
+                    return if layered { Wake::Now } else { sleep };
+                };
+                if my_ring != ring {
+                    return sleep;
+                }
+                let Some(s) = &self.sched else { return Wake::Now };
+                clamp(round + (s.next_act_round(offset) - offset))
+            }
+            PhasePos::Handoff { ring, .. } => {
+                let Some((my_ring, ring_level)) = self.ring else {
+                    return if layered { Wake::Now } else { sleep };
+                };
+                let outer = my_ring == ring && ring_level == self.plan.ring_width - 1;
+                // Outer-boundary holders sample Decay every round (the
+                // pending-harvest case — schedule decodable but `message`
+                // not yet extracted — is covered by `has_message`).
+                if outer && self.has_message() {
+                    Wake::Now
+                } else {
+                    sleep
+                }
+            }
+        }
+    }
+}
+
 impl Protocol for Ghk1Node {
     type Msg = Ghk1Msg;
 
     // Every sub-protocol this node routes observations into already ignores
     // silence, and status rounds ignore everything non-transmitted.
     const SILENCE_IS_NOOP: bool = true;
+    const WAKE_HINTS: bool = true;
 
-    fn act(&mut self, _round: u64, rng: &mut SmallRng) -> Action<Ghk1Msg> {
+    /// Segment-derived wake hints (see [`crate::adaptive`]): status and idle
+    /// rounds poll everyone; work segments sleep the node through rounds in
+    /// which its phase provably keeps it inert, clamped to the segment end.
+    fn next_wake(&self, round: u64) -> Wake {
+        if !self.seg_hints {
+            return Wake::Now;
+        }
         match self.step.get() {
-            Step::Idle => Action::Listen,
+            Step::Idle | Step::Status(_) => Wake::Now,
+            Step::Work(seg) => self.segment_wake(&seg, round),
+        }
+    }
+
+    fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action<Ghk1Msg> {
+        // Contract check for the wake hints: a node whose hint postponed past
+        // this round must not transmit if polled anyway (dense A/B paths).
+        let hinted_idle = cfg!(debug_assertions)
+            && match self.next_wake(round) {
+                Wake::Now => false,
+                Wake::At(r) => r > round,
+                Wake::Idle => true,
+            };
+        let action = self.act_inner(round, rng);
+        debug_assert!(
+            !(hinted_idle && action.is_transmit()),
+            "hinted-idle node {} transmitted at round {round}",
+            self.id
+        );
+        action
+    }
+
+    fn observe(&mut self, round: u64, obs: Observation<Ghk1Msg>, rng: &mut SmallRng) {
+        let pos = match self.step.get() {
+            Step::Idle | Step::Status(_) => return,
+            Step::Work(seg) => seg.pos_at(round).expect("observation within published segment"),
+        };
+        match pos {
+            PhasePos::Wave { offset } => {
+                let mapped = match &obs {
+                    Observation::Message(p) => match &**p {
+                        Ghk1Msg::Wave(b) => Observation::packet(*b),
+                        _ => Observation::Silence,
+                    },
+                    Observation::Collision => Observation::Collision,
+                    Observation::SelfTransmit => Observation::SelfTransmit,
+                    _ => Observation::Silence,
+                };
+                let was_layered = self.wave.level().is_some();
+                self.wave.observe(offset, mapped, rng);
+                if !was_layered && self.wave.level().is_some() {
+                    self.wave_dirty = true;
+                }
+            }
+            PhasePos::Construct { offset } => {
+                let Some((ring, _)) = self.ring else { return };
+                if offset % 2 != u64::from(ring % 2) {
+                    return;
+                }
+                let mapped = match &obs {
+                    Observation::Message(p) => match &**p {
+                        Ghk1Msg::Gst(m) => Observation::packet(*m),
+                        _ => Observation::Silence,
+                    },
+                    Observation::Collision => Observation::Collision,
+                    Observation::SelfTransmit => Observation::SelfTransmit,
+                    _ => Observation::Silence,
+                };
+                if let Some(c) = self.cons.as_mut() {
+                    c.observe(offset / 2, mapped, rng);
+                }
+            }
+            PhasePos::Broadcast { ring, offset } => {
+                let Some((my_ring, _)) = self.ring else { return };
+                if my_ring != ring {
+                    return;
+                }
+                let mapped = match &obs {
+                    Observation::Message(p) => match &**p {
+                        Ghk1Msg::Sched(m) => Observation::packet(m.clone()),
+                        _ => Observation::Silence,
+                    },
+                    Observation::Collision => Observation::Collision,
+                    Observation::SelfTransmit => Observation::SelfTransmit,
+                    _ => Observation::Silence,
+                };
+                if let Some(s) = self.sched.as_mut() {
+                    s.observe(offset, mapped, rng);
+                }
+            }
+            PhasePos::Handoff { ring, .. } => {
+                let Some((my_ring, ring_level)) = self.ring else { return };
+                if my_ring == ring + 1 && ring_level == 0 && self.message.is_none() {
+                    if let Observation::Message(p) = &obs {
+                        if let Ghk1Msg::Handoff(m) = &**p {
+                            self.message = Some(*m);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Ghk1Node {
+    fn act_inner(&mut self, round: u64, rng: &mut SmallRng) -> Action<Ghk1Msg> {
+        let pos = match self.step.get() {
+            Step::Idle => return Action::Listen,
             Step::Status(probe) => {
-                if self.probe(probe) {
+                return if self.probe(probe) {
                     Action::Transmit(Ghk1Msg::Status)
                 } else {
                     Action::Listen
-                }
+                };
             }
-            Step::Work(PhasePos::Wave { offset }) => match self.wave.act(offset, rng) {
+            Step::Work(seg) => seg.pos_at(round).expect("act within published segment"),
+        };
+        match pos {
+            PhasePos::Wave { offset } => match self.wave.act(offset, rng) {
                 Action::Transmit(b) => Action::Transmit(Ghk1Msg::Wave(b)),
                 Action::Listen => Action::Listen,
             },
-            Step::Work(PhasePos::Construct { offset }) => {
+            PhasePos::Construct { offset } => {
                 self.ensure_cons();
                 let Some((ring, _)) = self.ring else { return Action::Listen };
                 if offset % 2 != u64::from(ring % 2) {
@@ -440,7 +652,7 @@ impl Protocol for Ghk1Node {
                     Action::Listen => Action::Listen,
                 }
             }
-            Step::Work(PhasePos::Broadcast { ring, offset }) => {
+            PhasePos::Broadcast { ring, offset } => {
                 self.ensure_sched();
                 let Some((my_ring, _)) = self.ring else { return Action::Listen };
                 if my_ring != ring {
@@ -459,7 +671,7 @@ impl Protocol for Ghk1Node {
                     Action::Listen => Action::Listen,
                 }
             }
-            Step::Work(PhasePos::Handoff { ring, offset }) => {
+            PhasePos::Handoff { ring, offset } => {
                 self.harvest();
                 let Some((my_ring, ring_level)) = self.ring else { return Action::Listen };
                 let outer = my_ring == ring && ring_level == self.plan.ring_width - 1;
@@ -469,63 +681,6 @@ impl Protocol for Ghk1Node {
                     }
                 }
                 Action::Listen
-            }
-        }
-    }
-
-    fn observe(&mut self, _round: u64, obs: Observation<Ghk1Msg>, rng: &mut SmallRng) {
-        match self.step.get() {
-            Step::Idle | Step::Status(_) => {}
-            Step::Work(PhasePos::Wave { offset }) => {
-                let mapped = match obs {
-                    Observation::Message(Ghk1Msg::Wave(b)) => Observation::Message(b),
-                    Observation::Collision => Observation::Collision,
-                    Observation::SelfTransmit => Observation::SelfTransmit,
-                    _ => Observation::Silence,
-                };
-                let was_layered = self.wave.level().is_some();
-                self.wave.observe(offset, mapped, rng);
-                if !was_layered && self.wave.level().is_some() {
-                    self.wave_dirty = true;
-                }
-            }
-            Step::Work(PhasePos::Construct { offset }) => {
-                let Some((ring, _)) = self.ring else { return };
-                if offset % 2 != u64::from(ring % 2) {
-                    return;
-                }
-                let mapped = match obs {
-                    Observation::Message(Ghk1Msg::Gst(m)) => Observation::Message(m),
-                    Observation::Collision => Observation::Collision,
-                    Observation::SelfTransmit => Observation::SelfTransmit,
-                    _ => Observation::Silence,
-                };
-                if let Some(c) = self.cons.as_mut() {
-                    c.observe(offset / 2, mapped, rng);
-                }
-            }
-            Step::Work(PhasePos::Broadcast { ring, offset }) => {
-                let Some((my_ring, _)) = self.ring else { return };
-                if my_ring != ring {
-                    return;
-                }
-                let mapped = match obs {
-                    Observation::Message(Ghk1Msg::Sched(m)) => Observation::Message(m),
-                    Observation::Collision => Observation::Collision,
-                    Observation::SelfTransmit => Observation::SelfTransmit,
-                    _ => Observation::Silence,
-                };
-                if let Some(s) = self.sched.as_mut() {
-                    s.observe(offset, mapped, rng);
-                }
-            }
-            Step::Work(PhasePos::Handoff { ring, .. }) => {
-                let Some((my_ring, ring_level)) = self.ring else { return };
-                if my_ring == ring + 1 && ring_level == 0 && self.message.is_none() {
-                    if let Observation::Message(Ghk1Msg::Handoff(m)) = obs {
-                        self.message = Some(m);
-                    }
-                }
             }
         }
     }
@@ -592,8 +747,15 @@ struct Driver {
 }
 
 impl Driver {
-    fn exec(&mut self, step: Step) -> RoundStats {
+    /// Moves the shared cursor: every cell change force-wakes all nodes
+    /// (their hints were computed against the outgoing cell).
+    fn publish(&mut self, step: Step) {
+        self.sim.wake_all();
         self.step.set(step);
+    }
+
+    fn exec(&mut self, step: Step) -> RoundStats {
+        self.publish(step);
         let stats = self.sim.step();
         // `has_message` flips only when a packet arrives (a handoff payload
         // or the decoding delivery of the schedule), so the O(n) all-nodes
@@ -607,6 +769,29 @@ impl Driver {
         stats
     }
 
+    /// Publishes `len` consecutive work rounds starting at phase position
+    /// `pos` as one [`Segment`] and runs them through the engine's wake fast
+    /// path. Stops after any round that delivered a packet to re-evaluate
+    /// completion (exactly the per-step driver's delivery-gated scan), then
+    /// resumes the remainder; aborts once complete. Returns the number of
+    /// rounds actually executed.
+    fn exec_segment(&mut self, pos: PhasePos, len: u64) -> u64 {
+        let start = self.sim.round();
+        self.publish(Step::Work(Segment { start, len, pos }));
+        let mut run = 0u64;
+        while run < len && !self.done() {
+            let seg = self.sim.run_segment(len - run, true);
+            run += seg.rounds;
+            if seg.stopped_on_delivery
+                && self.completion.is_none()
+                && self.sim.nodes().iter().all(Ghk1Node::has_message)
+            {
+                self.completion = Some(self.sim.round());
+            }
+        }
+        run
+    }
+
     fn done(&self) -> bool {
         self.completion.is_some()
     }
@@ -617,8 +802,8 @@ impl Driver {
         self.exec(Step::Status(probe)).transmitters == 0
     }
 
-    /// One adaptive open-ended window: `beep_interval` work rounds, one
-    /// status round, until the probe has stayed quiet for
+    /// One adaptive open-ended window: a `beep_interval`-round work segment,
+    /// one status round, until the probe has stayed quiet for
     /// `quiescence_slack` consecutive status rounds or `budget` (work +
     /// status rounds) is exhausted. The wave, broadcast and handoff phases
     /// all share this loop.
@@ -626,7 +811,7 @@ impl Driver {
         &mut self,
         budget: u64,
         probe: Probe,
-        mut work: impl FnMut(u64) -> PhasePos,
+        pos_at: impl Fn(u64) -> PhasePos,
         count: fn(&mut PhaseRounds) -> &mut u64,
     ) {
         let slack = self.quiescence_slack.max(1);
@@ -634,15 +819,10 @@ impl Driver {
         let mut spent = 0u64;
         let mut quiet_streak = 0u32;
         while spent < budget && !self.done() {
-            for _ in 0..self.beep {
-                if spent >= budget || self.done() {
-                    return;
-                }
-                self.exec(Step::Work(work(offset)));
-                *count(&mut self.phases) += 1;
-                offset += 1;
-                spent += 1;
-            }
+            let run = self.exec_segment(pos_at(offset), self.beep.min(budget - spent));
+            *count(&mut self.phases) += run;
+            offset += run;
+            spent += run;
             if spent >= budget || self.done() {
                 return;
             }
@@ -738,12 +918,12 @@ impl ConsDriver for Driver {
     }
 
     fn cons_run(&mut self, start: u64, len: u64) {
-        for o in start..start + len {
-            for parity in 0..2u64 {
-                self.exec(Step::Work(PhasePos::Construct { offset: 2 * o + parity }));
-                self.phases.construct += 1;
-            }
-        }
+        // One segment covering the whole 2-slotted sub-window; the shared
+        // skip loop only ever requests runs within a single construction
+        // schedule segment, which is what keeps `may_act_in` hints valid
+        // across the batch.
+        let run = self.exec_segment(PhasePos::Construct { offset: 2 * start }, 2 * len);
+        self.phases.construct += run;
     }
 
     fn finished(&self) -> bool {
@@ -767,6 +947,28 @@ pub fn broadcast_single_in_mode(
     seed: u64,
     mode: CollisionMode,
 ) -> Ghk1Outcome {
+    broadcast_single_with(graph, source, payload, params, seed, mode, Pacing::Segment)
+}
+
+/// [`broadcast_single_in_mode`] with an explicit driver [`Pacing`].
+///
+/// [`Pacing::Segment`] (the production default) batches work rounds through
+/// the engine's wake-list fast path; [`Pacing::PerStep`] polls every node
+/// every round. The two pacings execute bit-identical round sequences —
+/// `tests/determinism.rs` pins the full trace equality.
+///
+/// # Panics
+///
+/// Panics if the graph is empty.
+pub fn broadcast_single_with(
+    graph: &Graph,
+    source: NodeId,
+    payload: u64,
+    params: &Params,
+    seed: u64,
+    mode: CollisionMode,
+    pacing: Pacing,
+) -> Ghk1Outcome {
     use radio_sim::graph::Traversal;
     assert!(graph.node_count() > 0, "graph must be non-empty");
     let d = graph.bfs(source).max_level();
@@ -774,6 +976,7 @@ pub fn broadcast_single_in_mode(
     let step: StepCell = Rc::new(Cell::new(Step::Idle));
     let sim = Simulator::new(graph.clone(), mode, seed, |id| {
         Ghk1Node::new(params, plan, Rc::clone(&step), id.raw(), (id == source).then_some(payload))
+            .with_pacing(pacing)
     });
     Driver {
         sim,

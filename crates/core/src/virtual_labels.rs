@@ -197,7 +197,8 @@ impl Protocol for VirtualLabelNode {
 
     fn observe(&mut self, round: u64, obs: Observation<VlMsg>, _rng: &mut SmallRng) {
         let Some(phase) = self.sched.phase(round) else { return };
-        let Observation::Message(msg) = obs else { return };
+        let Observation::Message(packet) = obs else { return };
+        let msg = *packet;
         match (phase, msg) {
             (VlPhase::Wave { d, rank, epoch: _, l }, VlMsg::Wave { sender })
                 if self.vdist.is_none()
@@ -222,6 +223,57 @@ impl VirtualLabelNode {
     fn decay_fires(&self, offset: u64, rng: &mut SmallRng) -> bool {
         let i = (offset % u64::from(self.sched.log_n.max(1))) as i32;
         rng.gen_bool(0.5f64.powi(i))
+    }
+
+    /// Wake helper for enclosing pipelines: the first schedule round
+    /// `>= from` in which this node's `act` might transmit or draw from its
+    /// RNG, or `None` if no such round remains for its *current* state
+    /// (receptions re-label the node, and the engine re-queries hints after
+    /// every delivered observation).
+    ///
+    /// Mirrors `act` exactly: an unlabelled node is inert; a node labelled
+    /// `d` starts a stage-1 wave in its `(d, rank)` epoch-1 slot (if it
+    /// heads a stretch), relays in the epoch-2 slot of the substage that
+    /// labelled it, and samples the Decay spread in every round of block
+    /// `d`'s stage-2 segment.
+    pub fn next_act_round(&self, from: u64) -> Option<u64> {
+        let s = &self.sched;
+        let per_rank = s.per_rank();
+        let per_d = s.per_d();
+        let wave_rounds = u64::from(s.log_n) * per_rank;
+        let mut best: Option<u64> = None;
+        let mut consider = |t: u64| {
+            if t >= from {
+                best = Some(best.map_or(t, |b| b.min(t)));
+            }
+        };
+        if self.labels.has_stretch_child
+            && (1..=s.log_n).contains(&self.labels.rank)
+            && self.labels.level < s.max_level
+        {
+            let rank_base =
+                |d: u32| u64::from(d) * per_d + u64::from(self.labels.rank - 1) * per_rank;
+            if let Some(v) = self.vdist {
+                if self.labels.is_stretch_start() && v < s.d_values() {
+                    consider(rank_base(v) + u64::from(self.labels.level));
+                }
+            }
+            if let Some((d0, r0)) = self.wave_tag {
+                if r0 == self.labels.rank && d0 < s.d_values() {
+                    consider(rank_base(d0) + u64::from(s.max_level) + u64::from(self.labels.level));
+                }
+            }
+        }
+        if let Some(v) = self.vdist {
+            if v < s.d_values() {
+                let spread_start = u64::from(v) * per_d + wave_rounds;
+                let spread_end = (u64::from(v) + 1) * per_d;
+                if from < spread_end {
+                    consider(from.max(spread_start));
+                }
+            }
+        }
+        best
     }
 }
 
@@ -312,6 +364,57 @@ mod tests {
         );
         assert!(sched.phase(sched.total_rounds()).is_none());
         assert!(sched.phase(0).is_some());
+    }
+
+    #[test]
+    fn next_act_round_never_misses_an_action() {
+        // The wake-helper contract: for every `from`, each round strictly
+        // before `next_act_round(from)` must be a pure listen that leaves
+        // the node's RNG untouched.
+        let params = Params::scaled(32);
+        let sched = VlSchedule::new(&params, 4);
+        let mk = |level, rank, stretch_child, parent_rank| GstLabels {
+            level,
+            rank,
+            parent: (level > 0).then_some(0),
+            parent_rank,
+            has_stretch_child: stretch_child,
+        };
+        let configs = [
+            mk(0, 2, true, None),
+            mk(1, 2, true, Some(2)),
+            mk(2, 1, false, Some(2)),
+            mk(3, 3, true, Some(1)),
+            mk(4, 1, false, Some(1)),
+        ];
+        for labels in configs {
+            for vdist in [None, Some(0), Some(1), Some(3), Some(sched.d_values())] {
+                for wave_tag in [None, Some((1u32, labels.rank))] {
+                    let mut node = VirtualLabelNode::new(sched, 9, labels);
+                    node.vdist = vdist;
+                    node.wave_tag = wave_tag;
+                    for from in (0..sched.total_rounds()).step_by(7) {
+                        let next = node.next_act_round(from);
+                        let horizon = next.unwrap_or(sched.total_rounds());
+                        assert!(next.is_none_or(|t| t >= from));
+                        for t in from..horizon {
+                            let mut a = stream_rng(42, t);
+                            let mut b = stream_rng(42, t);
+                            assert!(
+                                matches!(node.act(t, &mut a), Action::Listen),
+                                "hinted-inert node acted at {t} (from {from}, {labels:?})"
+                            );
+                            use rand::Rng;
+                            assert_eq!(
+                                a.gen::<u64>(),
+                                b.gen::<u64>(),
+                                "hinted-inert node drew RNG at {t} ({labels:?})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::graph::Graph;
 use crate::ids::NodeId;
-use crate::model::{Action, CollisionMode, Observation};
+use crate::model::{Action, CollisionMode, Observation, Packet};
 use crate::rng;
 use crate::trace::{RoundStats, RunStats};
 use rand::rngs::SmallRng;
@@ -156,8 +156,21 @@ impl<P: Protocol> Protocol for DenseWrap<P> {
 /// `(transmitter, packet)` pairs, before channel resolution.
 ///
 /// Used by experiments that must attribute collisions to schedule phases
-/// (e.g. the Lemma 3.5 fast-transmission collision audit).
-pub type Probe<M> = Box<dyn FnMut(u64, &[(NodeId, M)])>;
+/// (e.g. the Lemma 3.5 fast-transmission collision audit). Packets arrive as
+/// shared [`Packet`] handles into the round's packet store.
+pub type Probe<M> = Box<dyn FnMut(u64, &[(NodeId, Packet<M>)])>;
+
+/// Outcome of one [`Simulator::run_segment`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegmentRun {
+    /// Rounds simulated by this call, including fast-forwarded idle rounds.
+    pub rounds: u64,
+    /// Packets delivered across those rounds.
+    pub deliveries: u64,
+    /// `true` iff the call returned early because its last simulated round
+    /// delivered a packet (see [`Simulator::run_segment`]'s `stop_on_delivery`).
+    pub stopped_on_delivery: bool,
+}
 
 /// Deterministic synchronous simulator of the radio network model.
 ///
@@ -174,16 +187,28 @@ pub struct Simulator<P: Protocol> {
     tx_count: Vec<u32>,
     tx_from: Vec<u32>,
     transmitted: Vec<bool>,
-    txs: Vec<(NodeId, P::Msg)>,
+    /// This round's packet store: each transmission is wrapped in a shared
+    /// [`Packet`] once, and every delivery hands out an `O(1)` handle clone.
+    txs: Vec<(NodeId, Packet<P::Msg>)>,
     /// Nodes whose channel counter was touched this round (sparse path).
     touched: Vec<u32>,
     // Wake-list state (used only when `P::WAKE_HINTS && P::SILENCE_IS_NOOP`).
     /// Per-node scheduled wake round; `WAKE_IDLE` while unscheduled.
     wake_at: Vec<u64>,
-    /// Bucketed wake-queue: wake round -> nodes scheduled for it. Entries
-    /// whose `wake_at` no longer matches the bucket key are stale and
-    /// skipped on pop.
-    wake_buckets: BTreeMap<u64, Vec<u32>>,
+    /// Near wake-queue: a timer wheel of [`WHEEL`] slots whose buckets are
+    /// recycled across rounds (no steady-state allocation). A wake at round
+    /// `t` scheduled while simulating round `r` goes into slot `t % WHEEL`
+    /// when `t - r < WHEEL`; since every slot is drained before its round
+    /// index repeats, entries can never alias to an earlier round. Entries
+    /// whose `wake_at` no longer matches the drained round are stale and
+    /// skipped (they only make the idle scan pessimistic, never wrong).
+    wheel: Vec<Vec<u32>>,
+    /// Far wake-queue: wake round -> nodes, for wakes at least [`WHEEL`]
+    /// rounds ahead; drained directly when their round arrives.
+    far_wakes: BTreeMap<u64, Vec<u32>>,
+    /// Round at which every node is force-woken (see
+    /// [`Simulator::wake_all`]); `WAKE_IDLE` when unarmed.
+    forced_wake: u64,
     /// Nodes woken this round (scratch).
     awake: Vec<u32>,
     /// Nodes whose hint must be recomputed after this round (scratch).
@@ -193,6 +218,12 @@ pub struct Simulator<P: Protocol> {
 
 /// `wake_at` sentinel: no scheduled wake.
 const WAKE_IDLE: u64 = u64::MAX;
+
+/// Number of slots in the near wake wheel. Sized to cover the common hint
+/// horizons (the pipelines publish work segments of at most a few dozen
+/// rounds; parity and schedule-slot hints look 1–12 rounds ahead), so the
+/// allocating far queue only sees long sleeps.
+const WHEEL: u64 = 64;
 
 impl<P: Protocol> Simulator<P> {
     /// Creates a simulator over `graph` with the given collision mode and
@@ -220,13 +251,16 @@ impl<P: Protocol> Simulator<P> {
             txs: Vec::new(),
             touched: Vec::new(),
             wake_at: Vec::new(),
-            wake_buckets: BTreeMap::new(),
+            wheel: Vec::new(),
+            far_wakes: BTreeMap::new(),
+            forced_wake: WAKE_IDLE,
             awake: Vec::new(),
             dirty: Vec::new(),
             is_dirty: Vec::new(),
         };
         if Self::WAKE_PATH {
             sim.wake_at = vec![WAKE_IDLE; n];
+            sim.wheel = (0..WHEEL).map(|_| Vec::new()).collect();
             sim.is_dirty = vec![false; n];
             for i in 0..n {
                 sim.schedule(i, 0);
@@ -249,23 +283,77 @@ impl<P: Protocol> Simulator<P> {
             return;
         }
         self.wake_at[i] = at;
-        if at != WAKE_IDLE {
-            self.wake_buckets.entry(at).or_default().push(i as u32);
+        if at == WAKE_IDLE {
+            return;
+        }
+        if at - next_round < WHEEL {
+            self.wheel[(at % WHEEL) as usize].push(i as u32);
+        } else {
+            self.far_wakes.entry(at).or_default().push(i as u32);
         }
     }
 
-    /// Pops every node scheduled to wake at or before `round` into `awake`,
-    /// marking them dirty (their hint is consumed).
+    /// Re-wakes every node for the next simulated round, regardless of its
+    /// current hint. `O(1)` to arm; the next [`Simulator::step`] polls all
+    /// nodes and recomputes their hints.
+    ///
+    /// For external drivers that pace nodes through *shared* schedule state
+    /// (e.g. the adaptive pipelines' published cursor segments): a node's
+    /// wake hint is computed against that shared state, so it is only valid
+    /// while the state stands. Calling `wake_all` before every change of the
+    /// shared state restores the [`Protocol::next_wake`] contract — hints
+    /// never have to anticipate the driver's next move, and sleepers can
+    /// answer [`Wake::Idle`] instead of conservatively re-waking at every
+    /// boundary. No-op on the dense path.
+    pub fn wake_all(&mut self) {
+        if Self::WAKE_PATH {
+            self.forced_wake = self.round;
+        }
+    }
+
+    /// Pops every node scheduled to wake at `round` (wheel slot plus due far
+    /// buckets) into `awake`, marking them dirty (their hint is consumed).
+    /// A pending [`Simulator::wake_all`] wakes everyone instead.
     fn drain_wakeable(&mut self, round: u64) {
         self.awake.clear();
-        while let Some((&key, _)) = self.wake_buckets.first_key_value() {
+        if self.forced_wake == round {
+            self.forced_wake = WAKE_IDLE;
+            for i in 0..self.nodes.len() {
+                // Supersede any scheduled wake; its queue entries go stale.
+                self.wake_at[i] = WAKE_IDLE;
+                self.awake.push(i as u32);
+                self.mark_dirty(i);
+            }
+            // Drop this round's queue entries (now stale) so they are not
+            // re-examined.
+            self.wheel[(round % WHEEL) as usize].clear();
+            while self.far_wakes.first_key_value().is_some_and(|(&k, _)| k <= round) {
+                self.far_wakes.pop_first();
+            }
+            return;
+        }
+        // Near wheel: the slot's bucket is recycled, so steady-state rounds
+        // allocate nothing.
+        let mut bucket = std::mem::take(&mut self.wheel[(round % WHEEL) as usize]);
+        for &i in &bucket {
+            let i = i as usize;
+            // Skip stale entries (the node was rescheduled since).
+            if self.wake_at[i] != round {
+                continue;
+            }
+            self.wake_at[i] = WAKE_IDLE;
+            self.awake.push(i as u32);
+            self.mark_dirty(i);
+        }
+        bucket.clear();
+        self.wheel[(round % WHEEL) as usize] = bucket;
+        while let Some((&key, _)) = self.far_wakes.first_key_value() {
             if key > round {
                 break;
             }
-            let bucket = self.wake_buckets.remove(&key).expect("key just seen");
-            for &i in &bucket {
+            let far = self.far_wakes.remove(&key).expect("key just seen");
+            for &i in &far {
                 let i = i as usize;
-                // Skip stale entries (the node was rescheduled since).
                 if self.wake_at[i] != key {
                     continue;
                 }
@@ -283,10 +371,53 @@ impl<P: Protocol> Simulator<P> {
         }
     }
 
-    /// The next round in which any node is scheduled to wake
-    /// (`WAKE_IDLE` if none).
+    /// Requeues every node whose state may have changed since its hint was
+    /// computed. Deferred from the end of the previous round to the start of
+    /// `round` (the round about to be simulated or fast-forwarded over) so
+    /// that an intervening [`Simulator::wake_all`] makes the recomputation
+    /// unnecessary: on forced-wake rounds every node is polled regardless,
+    /// and its hint is recomputed afterwards anyway. External drivers that
+    /// publish a new shared schedule between every pair of status rounds
+    /// thus skip an entire `O(n)` hint sweep per transition.
+    fn flush_dirty(&mut self, round: u64) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        if self.forced_wake == round {
+            for k in 0..self.dirty.len() {
+                let i = self.dirty[k] as usize;
+                self.is_dirty[i] = false;
+            }
+        } else {
+            for k in 0..self.dirty.len() {
+                let i = self.dirty[k] as usize;
+                self.is_dirty[i] = false;
+                self.schedule(i, round);
+            }
+        }
+        self.dirty.clear();
+    }
+
+    /// A lower bound on the next round in which any node is scheduled to
+    /// wake (`WAKE_IDLE` if none). Stale wheel entries can make this
+    /// pessimistic (an extra empty round is stepped instead of
+    /// fast-forwarded), never late: valid entries always lie within the
+    /// scanned horizon.
     fn next_wake_round(&self) -> u64 {
-        self.wake_buckets.first_key_value().map_or(WAKE_IDLE, |(&k, _)| k)
+        if self.forced_wake != WAKE_IDLE {
+            return self.forced_wake;
+        }
+        let far = self.far_wakes.first_key_value().map_or(WAKE_IDLE, |(&k, _)| k);
+        for d in 0..WHEEL {
+            let r = self.round + d;
+            if r >= far {
+                break;
+            }
+            if !self.wheel[(r % WHEEL) as usize].is_empty() {
+                return r;
+            }
+        }
+        far
     }
 
     /// Number of fully-idle rounds (at most `max`) that can be skipped
@@ -323,6 +454,10 @@ impl<P: Protocol> Simulator<P> {
     pub fn step(&mut self) -> RoundStats {
         let round = self.round;
         let n = self.nodes.len();
+        if Self::WAKE_PATH {
+            // Deferred wake-hint recomputation for last round's dirty nodes.
+            self.flush_dirty(round);
+        }
 
         // Reset the previous round's transmit flags (O(active), not O(n)).
         for k in 0..self.txs.len() {
@@ -344,7 +479,7 @@ impl<P: Protocol> Simulator<P> {
                 match self.nodes[i].act(round, &mut self.rngs[i]) {
                     Action::Transmit(m) => {
                         self.transmitted[i] = true;
-                        self.txs.push((NodeId::new(i), m));
+                        self.txs.push((NodeId::new(i), Packet::new(m)));
                     }
                     Action::Listen => {}
                 }
@@ -354,7 +489,7 @@ impl<P: Protocol> Simulator<P> {
                 match self.nodes[i].act(round, &mut self.rngs[i]) {
                     Action::Transmit(m) => {
                         self.transmitted[i] = true;
-                        self.txs.push((NodeId::new(i), m));
+                        self.txs.push((NodeId::new(i), Packet::new(m)));
                     }
                     Action::Listen => {}
                 }
@@ -449,16 +584,9 @@ impl<P: Protocol> Simulator<P> {
             self.tx_count[v as usize] = 0;
         }
 
-        // Recompute the wake hints of every node whose state may have
-        // changed this round (woken nodes and touched listeners).
-        if Self::WAKE_PATH {
-            for k in 0..self.dirty.len() {
-                let i = self.dirty[k] as usize;
-                self.is_dirty[i] = false;
-                self.schedule(i, round + 1);
-            }
-            self.dirty.clear();
-        }
+        // The wake hints of nodes whose state may have changed this round
+        // (woken nodes and touched listeners) are recomputed lazily at the
+        // start of the next round — see `flush_dirty`.
 
         self.round += 1;
         self.stats.absorb(rstats);
@@ -472,16 +600,48 @@ impl<P: Protocol> Simulator<P> {
     /// being stepped; `round` and the semantic statistics advance exactly as
     /// if each round had been simulated.
     pub fn run(&mut self, rounds: u64) {
+        self.run_segment(rounds, false);
+    }
+
+    /// Simulates up to `rounds` rounds as one *work segment*, on the same
+    /// fast paths as [`Simulator::run`] (acts cost `O(awake)`, fully-idle
+    /// stretches fast-forward in `O(1)`).
+    ///
+    /// With `stop_on_delivery`, the call returns right after the first round
+    /// that delivered a packet — the only kind of round in which *listener*
+    /// state can change — so an external driver can batch long stretches of
+    /// rounds through the wake fast path and still re-evaluate a
+    /// reception-driven completion predicate exactly as if it had stepped
+    /// every round (collisions and transmissions never flip such a
+    /// predicate; see [`DoneCheck::OnDelivery`] for the analogous policy).
+    /// The caller resumes the remainder of the segment with another call.
+    ///
+    /// The executed round sequence, statistics and per-node RNG streams are
+    /// bit-identical to calling [`Simulator::step`] `rounds` times.
+    pub fn run_segment(&mut self, rounds: u64, stop_on_delivery: bool) -> SegmentRun {
+        let mut out = SegmentRun::default();
         let mut left = rounds;
         while left > 0 {
+            if Self::WAKE_PATH {
+                self.flush_dirty(self.round);
+            }
             if let Some(gap) = self.idle_gap(left) {
+                // Idle rounds deliver nothing, so they never trigger a stop.
                 self.fast_forward(gap);
+                out.rounds += gap;
                 left -= gap;
-            } else {
-                self.step();
-                left -= 1;
+                continue;
+            }
+            let rstats = self.step();
+            out.rounds += 1;
+            out.deliveries += rstats.deliveries as u64;
+            left -= 1;
+            if stop_on_delivery && rstats.deliveries > 0 {
+                out.stopped_on_delivery = true;
+                break;
             }
         }
+        out
     }
 
     /// Runs until `done` holds (checked after every round) or `max_rounds`
@@ -528,6 +688,9 @@ impl<P: Protocol> Simulator<P> {
         let mut left = max_rounds;
         let mut since_check = 0u64;
         while left > 0 {
+            if Self::WAKE_PATH {
+                self.flush_dirty(self.round);
+            }
             if let Some(gap) = self.idle_gap(left) {
                 // Idle rounds change no state, hence never the predicate.
                 self.fast_forward(gap);
@@ -597,7 +760,7 @@ impl<P: Protocol> Simulator<P> {
             let at = self.round;
             if self.wake_at[i] != at {
                 self.wake_at[i] = at;
-                self.wake_buckets.entry(at).or_default().push(i as u32);
+                self.wheel[(at % WHEEL) as usize].push(i as u32);
             }
         }
         &mut self.nodes[v.index()]
@@ -663,7 +826,7 @@ mod tests {
         let stats = sim.step();
         assert_eq!(stats.transmitters, 1);
         assert_eq!(stats.deliveries, 1);
-        assert_eq!(sim.node(NodeId::new(1)).seen, vec![Observation::Message(7)]);
+        assert_eq!(sim.node(NodeId::new(1)).seen, vec![Observation::packet(7)]);
         assert_eq!(sim.node(NodeId::new(2)).seen, vec![Observation::Silence]);
         assert_eq!(sim.node(NodeId::new(0)).seen, vec![Observation::SelfTransmit]);
     }
@@ -816,7 +979,7 @@ mod tests {
         }
         fn observe(&mut self, round: u64, obs: Observation<u8>, _rng: &mut SmallRng) {
             match obs {
-                Observation::Message(m) => self.heard.push((round, Some(m))),
+                Observation::Message(m) => self.heard.push((round, Some(*m))),
                 Observation::Collision => self.heard.push((round, None)),
                 Observation::Silence | Observation::SelfTransmit => {}
             }
@@ -901,7 +1064,7 @@ mod tests {
 
         fn observe(&mut self, round: u64, obs: Observation<u8>, _rng: &mut SmallRng) {
             match obs {
-                Observation::Message(m) => self.heard.push((round, Some(m))),
+                Observation::Message(m) => self.heard.push((round, Some(*m))),
                 Observation::Collision => self.heard.push((round, None)),
                 Observation::Silence | Observation::SelfTransmit => {}
             }

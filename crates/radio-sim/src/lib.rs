@@ -70,8 +70,8 @@ pub mod model;
 pub mod rng;
 pub mod trace;
 
-pub use engine::{DenseWrap, DoneCheck, Protocol, Simulator, Wake};
+pub use engine::{DenseWrap, DoneCheck, Protocol, SegmentRun, Simulator, Wake};
 pub use graph::Graph;
 pub use ids::NodeId;
-pub use model::{Action, CollisionMode, Observation};
+pub use model::{Action, CollisionMode, Observation, Packet};
 pub use trace::{RoundStats, RunStats};

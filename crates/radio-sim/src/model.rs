@@ -11,6 +11,69 @@
 //!
 //! A transmitter always observes [`Observation::SelfTransmit`]: the model is
 //! half-duplex, so a transmitting node learns nothing about the channel.
+//!
+//! Received packets are handed over as [`Packet`] handles into the engine's
+//! per-round packet store: delivering a transmission to its listeners costs
+//! one reference-count bump per listener, never a payload copy. A consumer
+//! that needs the payload by value calls [`Packet::into_inner`], which clones
+//! only if the packet is still shared.
+
+use std::fmt;
+use std::ops::Deref;
+use std::rc::Rc;
+
+/// A shared handle to one transmitted packet.
+///
+/// The engine stores each round's transmissions once and hands every
+/// receiver a `Packet` pointing into that store, so channel resolution costs
+/// `O(1)` per delivery regardless of payload size (ROADMAP bottleneck (b):
+/// large-payload multi-message sweeps used to deep-clone the payload per
+/// delivery). Dereferences to the message; [`Packet::into_inner`] recovers an
+/// owned value.
+pub struct Packet<M>(Rc<M>);
+
+impl<M> Packet<M> {
+    /// Wraps an owned message (one allocation; later clones are `O(1)`).
+    pub fn new(msg: M) -> Self {
+        Packet(Rc::new(msg))
+    }
+
+    /// Recovers the owned message, cloning only if the packet is still
+    /// shared with the engine's store or another receiver.
+    pub fn into_inner(self) -> M
+    where
+        M: Clone,
+    {
+        Rc::try_unwrap(self.0).unwrap_or_else(|rc| (*rc).clone())
+    }
+}
+
+impl<M> Clone for Packet<M> {
+    fn clone(&self) -> Self {
+        Packet(Rc::clone(&self.0))
+    }
+}
+
+impl<M> Deref for Packet<M> {
+    type Target = M;
+    fn deref(&self) -> &M {
+        &self.0
+    }
+}
+
+impl<M: fmt::Debug> fmt::Debug for Packet<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<M: PartialEq> PartialEq for Packet<M> {
+    fn eq(&self, other: &Self) -> bool {
+        *self.0 == *other.0
+    }
+}
+
+impl<M: Eq> Eq for Packet<M> {}
 
 /// Whether listeners can distinguish a collision from silence.
 ///
@@ -54,8 +117,9 @@ impl<M> Action<M> {
 /// What a node observes at the end of one round.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Observation<M> {
-    /// Exactly one neighbor transmitted; its packet was received.
-    Message(M),
+    /// Exactly one neighbor transmitted; its packet was received (a shared
+    /// handle into the round's packet store — see [`Packet`]).
+    Message(Packet<M>),
     /// Two or more neighbors transmitted (only under
     /// [`CollisionMode::Detection`]).
     Collision,
@@ -67,11 +131,23 @@ pub enum Observation<M> {
 }
 
 impl<M> Observation<M> {
-    /// Returns the received packet, if any.
+    /// A message observation from an owned payload (wraps it in a fresh
+    /// [`Packet`]) — for tests and protocols that re-dispatch a received
+    /// sub-message into an inner protocol.
     #[inline]
-    pub fn message(self) -> Option<M> {
+    pub fn packet(msg: M) -> Self {
+        Observation::Message(Packet::new(msg))
+    }
+
+    /// Returns the received packet by value, if any (cloning only if still
+    /// shared — see [`Packet::into_inner`]).
+    #[inline]
+    pub fn message(self) -> Option<M>
+    where
+        M: Clone,
+    {
         match self {
-            Observation::Message(m) => Some(m),
+            Observation::Message(m) => Some(m.into_inner()),
             _ => None,
         }
     }
@@ -145,7 +221,7 @@ mod tests {
 
     #[test]
     fn observation_message_extraction() {
-        assert_eq!(Observation::Message(5u8).message(), Some(5));
+        assert_eq!(Observation::packet(5u8).message(), Some(5));
         assert_eq!(Observation::<u8>::Collision.message(), None);
         assert_eq!(Observation::<u8>::Silence.message(), None);
         assert_eq!(Observation::<u8>::SelfTransmit.message(), None);
@@ -153,10 +229,22 @@ mod tests {
 
     #[test]
     fn signal_includes_collision_but_not_silence() {
-        assert!(Observation::Message(0u8).is_signal());
+        assert!(Observation::packet(0u8).is_signal());
         assert!(Observation::<u8>::Collision.is_signal());
         assert!(!Observation::<u8>::Silence.is_signal());
         assert!(!Observation::<u8>::SelfTransmit.is_signal());
+    }
+
+    #[test]
+    fn packet_store_shares_without_copying() {
+        let p = Packet::new(vec![1u8, 2, 3]);
+        let q = p.clone();
+        assert_eq!(*p, *q);
+        assert_eq!(p, q);
+        // Shared: into_inner must clone rather than steal from `p`.
+        assert_eq!(q.into_inner(), vec![1, 2, 3]);
+        // Unique again: into_inner unwraps without cloning.
+        assert_eq!(p.into_inner(), vec![1, 2, 3]);
     }
 
     #[test]

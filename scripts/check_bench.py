@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate over BENCH_pipeline.json.
+
+Fails CI when the wake-hint fast path silently regresses to dense stepping
+(`act_skips == 0` on a pipeline entry), when a pipeline's round count drifts
+above its pinned regression budget (mirroring tests/regression_rounds.rs for
+the exact bench seeds), or when the idle microbench speedup collapses.
+
+Usage: python3 scripts/check_bench.py [path/to/BENCH_pipeline.json]
+"""
+
+import json
+import sys
+
+# Round budgets for the bench's fixed seeds; generous versions of the pins in
+# tests/regression_rounds.rs (which sweep several seeds).
+ROUND_BUDGETS = {
+    "e1_corridor_single": 2_200,
+    "e2_unit_disk_single": 4_800,
+    "multi_telemetry_backhaul": 7_000,
+    "multi_firmware_grid": 12_500,
+}
+
+# Exact round counts at the bench's fixed seeds. Runs are deterministic, so
+# any drift here means the executed round sequence changed — the segment
+# scheduler promises bit-identity with per-round stepping (the corridor has
+# been exactly 677 since PR 2). An intentional algorithm change must update
+# these pins explicitly.
+EXPECTED_ROUNDS = {
+    "e1_corridor_single": 677,
+    "e2_unit_disk_single": 2_146,
+    "multi_telemetry_backhaul": 3_308,
+    "multi_firmware_grid": 5_011,
+}
+
+MIN_MICROBENCH_SPEEDUP = 50.0
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pipeline.json"
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+
+    failures = []
+    seen = set()
+    for entry in data["entries"]:
+        name = entry["name"]
+        seen.add(name)
+        if entry["act_skips"] <= 0:
+            failures.append(
+                f"{name}: act_skips == 0 — the pipeline fell off the "
+                "wake-hint fast path (dense stepping)"
+            )
+        budget = ROUND_BUDGETS.get(name)
+        if budget is None:
+            failures.append(f"{name}: no pinned round budget for this entry")
+        elif entry["rounds"] > budget:
+            failures.append(
+                f"{name}: {entry['rounds']} rounds exceeds the pinned "
+                f"budget {budget}"
+            )
+        expected = EXPECTED_ROUNDS.get(name)
+        if expected is not None and entry["rounds"] != expected:
+            failures.append(
+                f"{name}: {entry['rounds']} rounds != pinned {expected} — "
+                "the executed round sequence changed; update the pin only "
+                "for an intentional algorithm change"
+            )
+        if entry["rounds"] > entry["cap"]:
+            failures.append(
+                f"{name}: {entry['rounds']} rounds exceeds the worst-case "
+                f"cap {entry['cap']}"
+            )
+
+    missing = set(ROUND_BUDGETS) - seen
+    if missing:
+        failures.append(f"missing pipeline entries: {sorted(missing)}")
+
+    micro = data.get("idle_microbench", {})
+    speedup = micro.get("speedup", 0.0)
+    if speedup < MIN_MICROBENCH_SPEEDUP:
+        failures.append(
+            f"idle microbench speedup {speedup:.1f}x below the "
+            f"{MIN_MICROBENCH_SPEEDUP:.0f}x floor"
+        )
+
+    if failures:
+        print(f"{path}: FAIL")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+
+    print(
+        f"{path}: OK — "
+        + ", ".join(
+            f"{e['name']}={e['rounds']}r/{e['act_skips']}skips"
+            for e in data["entries"]
+        )
+        + f"; microbench {speedup:.0f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,12 +2,16 @@
 //! engine's wake-list fast path is a faithful replay of the dense sweep:
 //! identical observations, statistics and per-node RNG draws.
 
+use broadcast::adaptive::Pacing;
 use broadcast::decay::{DecayBroadcast, DecayMsg, MmvDecayBroadcast};
 use broadcast::multi_message::{
-    broadcast_known, broadcast_unknown, BatchMode, GhkMultiNode, GhkMultiPlan,
+    broadcast_known, broadcast_unknown, broadcast_unknown_with, BatchMode, GhkMultiNode,
+    GhkMultiPlan, MultiRunOpts,
 };
 use broadcast::schedule::{EmptyBehavior, SlowKey};
-use broadcast::single_message::{broadcast_single, broadcast_single_in_mode};
+use broadcast::single_message::{
+    broadcast_single, broadcast_single_in_mode, broadcast_single_with,
+};
 use broadcast::Params;
 use radio_sim::graph::{generators, Traversal};
 use radio_sim::{CollisionMode, DenseWrap, NodeId, Protocol, RunStats, Simulator};
@@ -146,6 +150,90 @@ fn unknown_topology_adaptive_full_trace_deterministic() {
         assert_eq!(a.stats, b.stats, "RunStats diverged (seed {seed})");
         assert_eq!(a.phases, b.phases, "phase accounting diverged (seed {seed})");
         assert!(a.completion_round.is_some(), "seed {seed} failed");
+    }
+}
+
+/// The sparse-path fields of [`RunStats`] that must agree between segment
+/// and per-step pacing (everything except the wake-path skip counters,
+/// which differ by design: per-step pacing never skips an act).
+fn paced_semantic(s: &RunStats) -> (u64, u64, u64, u64, u64) {
+    (s.rounds, s.transmissions, s.deliveries, s.collisions, s.observe_skips)
+}
+
+#[test]
+fn single_segment_pacing_equals_per_step_across_modes_and_seeds() {
+    // The tentpole invariant of the segment scheduler: publishing batched
+    // work segments through the wake-hint fast path must replay the
+    // per-round-stepped run bit for bit — same completion round, same phase
+    // accounting, same channel trace — while actually skipping acts.
+    let g = generators::cluster_chain(4, 5);
+    let params = Params::scaled(20);
+    for mode in [CollisionMode::Detection, CollisionMode::NoDetection] {
+        for seed in 0..4u64 {
+            let seg =
+                broadcast_single_with(&g, NodeId::new(0), 9, &params, seed, mode, Pacing::Segment);
+            let step =
+                broadcast_single_with(&g, NodeId::new(0), 9, &params, seed, mode, Pacing::PerStep);
+            assert_eq!(
+                seg.completion_round, step.completion_round,
+                "completion diverged ({mode:?}, seed {seed})"
+            );
+            assert_eq!(
+                paced_semantic(&seg.stats),
+                paced_semantic(&step.stats),
+                "trace diverged ({mode:?}, seed {seed})"
+            );
+            assert_eq!(
+                seg.phases, step.phases,
+                "phase accounting diverged ({mode:?}, seed {seed})"
+            );
+            assert!(
+                seg.stats.act_skips > 0,
+                "segment pacing never skipped ({mode:?}, seed {seed})"
+            );
+            assert_eq!(step.stats.act_skips, 0, "per-step pacing must poll everyone");
+            assert_eq!(step.stats.idle_fastforward, 0);
+        }
+    }
+}
+
+#[test]
+fn multi_segment_pacing_equals_per_step_across_modes_and_seeds() {
+    let g = generators::cluster_chain(4, 5);
+    let params = Params::scaled(20);
+    let msgs: Vec<BitVec> = (0..3u64).map(|i| BitVec::from_u64(i * 7 + 1, 16)).collect();
+    for mode in [CollisionMode::Detection, CollisionMode::NoDetection] {
+        for seed in 0..4u64 {
+            let opts = MultiRunOpts::new(BatchMode::FullK).with_mode(mode);
+            let seg = broadcast_unknown_with(&g, NodeId::new(0), &msgs, &params, seed, opts);
+            let step = broadcast_unknown_with(
+                &g,
+                NodeId::new(0),
+                &msgs,
+                &params,
+                seed,
+                opts.with_pacing(Pacing::PerStep),
+            );
+            assert_eq!(
+                seg.completion_round, step.completion_round,
+                "completion diverged ({mode:?}, seed {seed})"
+            );
+            assert_eq!(
+                paced_semantic(&seg.stats),
+                paced_semantic(&step.stats),
+                "trace diverged ({mode:?}, seed {seed})"
+            );
+            assert_eq!(
+                seg.phases, step.phases,
+                "phase accounting diverged ({mode:?}, seed {seed})"
+            );
+            assert_eq!(seg.audit, step.audit, "schedule audit diverged ({mode:?}, seed {seed})");
+            assert!(
+                seg.stats.act_skips > 0,
+                "segment pacing never skipped ({mode:?}, seed {seed})"
+            );
+            assert_eq!(step.stats.act_skips, 0, "per-step pacing must poll everyone");
+        }
     }
 }
 

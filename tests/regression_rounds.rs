@@ -37,6 +37,12 @@ fn assert_within_budget(name: &str, g: &Graph, seeds: std::ops::Range<u64>, budg
             "{name} seed {seed}: {done} rounds exceeds the worst-case cap {}",
             out.plan.total_rounds()
         );
+        assert!(
+            out.stats.act_skips > 0,
+            "{name} seed {seed}: the segment scheduler never skipped an act \
+             (wake-hint fast path disengaged; stats: {:?})",
+            out.stats
+        );
     }
 }
 
@@ -122,6 +128,12 @@ fn assert_multi_within_budget(
             done <= out.rounds_budget,
             "{name} seed {seed}: {done} rounds exceeds the worst-case cap {}",
             out.rounds_budget
+        );
+        assert!(
+            out.stats.act_skips > 0,
+            "{name} seed {seed}: the segment scheduler never skipped an act \
+             (wake-hint fast path disengaged; stats: {:?})",
+            out.stats
         );
         let decay = decay_rounds(g, &params, seed);
         assert!(
