@@ -267,8 +267,7 @@ pub mod repeat {
         params: &Params,
         seed: u64,
     ) -> Option<u64> {
-        use broadcast::multi_message::broadcast_known;
-        use broadcast::schedule::{EmptyBehavior, SlowKey};
+        use broadcast::multi_message::{broadcast_known, KnownRunOpts};
         use rlnc::gf2::BitVec;
         let one = broadcast_known(
             graph,
@@ -276,9 +275,7 @@ pub mod repeat {
             &[BitVec::from_u64(1, 32)],
             params,
             seed,
-            SlowKey::VirtualDistance,
-            EmptyBehavior::Silent,
-            2_000_000,
+            KnownRunOpts::new().with_max_rounds(2_000_000),
         );
         one.completion_round.map(|r| r * k as u64)
     }
@@ -287,7 +284,7 @@ pub mod repeat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use broadcast::schedule::{EmptyBehavior, SchedLabels, ScheduleConfig, SlowKey};
+    use broadcast::schedule::{SchedLabels, ScheduleConfig};
     use broadcast::Params;
     use radio_sim::graph::{generators, Traversal};
     use radio_sim::{CollisionMode, NodeId, Simulator};
@@ -358,9 +355,7 @@ mod tests {
             &msgs,
             &params,
             2,
-            SlowKey::VirtualDistance,
-            EmptyBehavior::Silent,
-            1_000_000,
+            broadcast::multi_message::KnownRunOpts::new(),
         );
         assert!(coded.completion_round.is_some());
         // Coding should not be slower (it is usually strictly faster).

@@ -5,8 +5,7 @@
 //! lemma (see the gst crate docs) and are reported for transparency.
 
 use bench::*;
-use broadcast::multi_message::broadcast_known;
-use broadcast::schedule::{EmptyBehavior, SlowKey};
+use broadcast::multi_message::{broadcast_known, KnownRunOpts};
 use broadcast::Params;
 use radio_sim::graph::generators;
 use radio_sim::NodeId;
@@ -35,9 +34,7 @@ fn main() {
                 &payloads(8),
                 &params,
                 seed,
-                SlowKey::VirtualDistance,
-                EmptyBehavior::Silent,
-                MAX_ROUNDS,
+                KnownRunOpts::new().with_max_rounds(MAX_ROUNDS),
             );
             in_stretch += out.audit.fast_collisions_in_stretch;
             bystander += out.audit.fast_collisions_bystander;

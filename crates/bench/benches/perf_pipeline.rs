@@ -1,9 +1,11 @@
 //! Machine-readable perf tracker: runs the flagship pipelines (E1/E2 single
-//! message, the adaptive Theorem 1.3 multi-message scenarios) and the
-//! million-node idle-round microbench, then writes `BENCH_pipeline.json` at
-//! the repo root — rounds, wall-clock and engine skip counters — so the perf
-//! trajectory is tracked from PR 3 onward. CI runs this in release mode as a
-//! smoke job.
+//! message, the adaptive Theorem 1.3 multi-message scenarios) through the
+//! `Scenario` facade and the million-node idle-round microbench, then writes
+//! `BENCH_pipeline.json` at the repo root — rounds, wall-clock, engine skip
+//! counters and the declarative scenario descriptor of every entry — so the
+//! perf trajectory is tracked from PR 3 onward. CI runs this in release mode
+//! as a smoke job and `scripts/check_bench.py` validates the schema, the
+//! scenario descriptors and the pinned round counts.
 //!
 //! ```sh
 //! cargo bench --bench perf_pipeline            # writes BENCH_pipeline.json
@@ -11,13 +13,10 @@
 //! ```
 
 use broadcast::decay::{DecayBroadcast, DecayMsg};
-use broadcast::multi_message::{broadcast_unknown, BatchMode};
-use broadcast::single_message::broadcast_single;
-use broadcast::Params;
+use broadcast::{BatchMode, Params, Scenario, TopologySpec, Workload};
 use radio_sim::graph::generators;
-use radio_sim::rng::stream_rng;
 use radio_sim::trace::RunStats;
-use radio_sim::{CollisionMode, DenseWrap, NodeId, Simulator};
+use radio_sim::{CollisionMode, DenseWrap, Simulator};
 use rlnc::gf2::BitVec;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -25,6 +24,9 @@ use std::time::Instant;
 /// One measured pipeline run.
 struct Entry {
     name: &'static str,
+    topology: String,
+    workload: &'static str,
+    seed: u64,
     rounds: u64,
     cap: u64,
     wall_ms: f64,
@@ -35,27 +37,20 @@ fn payloads(k: usize) -> Vec<BitVec> {
     (0..k as u64).map(|i| BitVec::from_u64(0xBEE0 + i, 32)).collect()
 }
 
-fn single(name: &'static str, g: radio_sim::Graph, seed: u64) -> Entry {
-    let params = Params::scaled(g.node_count());
+/// Runs one declared scenario and records the measurement row. The graph is
+/// built outside the timer so `wall_ms` tracks the broadcast alone (the
+/// pre-facade semantics of this column).
+fn measure(name: &'static str, scenario: Scenario) -> Entry {
+    let graph = scenario.graph();
     let t = Instant::now();
-    let out = broadcast_single(&g, NodeId::new(0), 0xFEED, &params, seed);
+    let out = scenario.run_on(&graph);
     Entry {
         name,
-        rounds: out.completion_round.expect("single pipeline completes"),
-        cap: out.plan.total_rounds(),
-        wall_ms: t.elapsed().as_secs_f64() * 1e3,
-        stats: out.stats,
-    }
-}
-
-fn multi(name: &'static str, g: radio_sim::Graph, k: usize, mode: BatchMode, seed: u64) -> Entry {
-    let params = Params::scaled(g.node_count());
-    let t = Instant::now();
-    let out = broadcast_unknown(&g, NodeId::new(0), &payloads(k), &params, seed, mode);
-    Entry {
-        name,
-        rounds: out.completion_round.expect("multi pipeline completes"),
-        cap: out.rounds_budget,
+        topology: scenario.topology().label(),
+        workload: scenario.workload().kind(),
+        seed: scenario.master_seed(),
+        rounds: out.completion_round.expect("pipeline completes"),
+        cap: out.cap,
         wall_ms: t.elapsed().as_secs_f64() * 1e3,
         stats: out.stats,
     }
@@ -93,10 +88,15 @@ fn idle_microbench(n: usize, rounds: u64) -> (f64, f64, RunStats) {
 fn json_entry(out: &mut String, e: &Entry) {
     let _ = write!(
         out,
-        "    {{\"name\": \"{}\", \"rounds\": {}, \"cap\": {}, \"wall_ms\": {:.2}, \
+        "    {{\"name\": \"{}\", \
+         \"scenario\": {{\"topology\": \"{}\", \"workload\": \"{}\", \"seed\": {}}}, \
+         \"rounds\": {}, \"cap\": {}, \"wall_ms\": {:.2}, \
          \"transmissions\": {}, \"deliveries\": {}, \"observe_skips\": {}, \
          \"act_skips\": {}, \"idle_fastforward\": {}}}",
         e.name,
+        e.topology,
+        e.workload,
+        e.seed,
         e.rounds,
         e.cap,
         e.wall_ms,
@@ -109,29 +109,44 @@ fn json_entry(out: &mut String, e: &Entry) {
 }
 
 fn main() {
-    let mut entries = Vec::new();
-
-    // E1: the emergency-alert corridor (Theorem 1.1, adaptive).
-    entries.push(single("e1_corridor_single", generators::cluster_chain(20, 6), 1));
-    // E2: a dense unit-disk deployment (Theorem 1.1, adaptive).
-    let mut rng = stream_rng(2024, 0);
-    entries.push(single("e2_unit_disk_single", generators::unit_disk(80, 0.18, &mut rng), 1));
-    // The telemetry-backhaul scenario (Theorem 1.3, adaptive, FullK).
-    entries.push(multi(
-        "multi_telemetry_backhaul",
-        generators::cluster_chain(6, 6),
-        8,
-        BatchMode::FullK,
-        11,
-    ));
-    // The firmware-update topology (Theorem 1.3, adaptive, generations).
-    entries.push(multi(
-        "multi_firmware_grid",
-        generators::grid(6, 6),
-        8,
-        BatchMode::Generations(4),
-        3,
-    ));
+    let entries = vec![
+        // E1: the emergency-alert corridor (Theorem 1.1, adaptive).
+        measure(
+            "e1_corridor_single",
+            Scenario::new(
+                TopologySpec::ClusterChain { clusters: 20, size: 6 },
+                Workload::Single { payload: 0xFEED },
+            )
+            .seed(1),
+        ),
+        // E2: a dense unit-disk deployment (Theorem 1.1, adaptive).
+        measure(
+            "e2_unit_disk_single",
+            Scenario::new(
+                TopologySpec::UnitDisk { n: 80, radius: 0.18, graph_seed: 2024 },
+                Workload::Single { payload: 0xFEED },
+            )
+            .seed(1),
+        ),
+        // The telemetry-backhaul scenario (Theorem 1.3, adaptive, FullK).
+        measure(
+            "multi_telemetry_backhaul",
+            Scenario::new(
+                TopologySpec::ClusterChain { clusters: 6, size: 6 },
+                Workload::MultiUnknown { messages: payloads(8), batch: BatchMode::FullK },
+            )
+            .seed(11),
+        ),
+        // The firmware-update topology (Theorem 1.3, adaptive, generations).
+        measure(
+            "multi_firmware_grid",
+            Scenario::new(
+                TopologySpec::Grid { w: 6, h: 6 },
+                Workload::MultiUnknown { messages: payloads(8), batch: BatchMode::Generations(4) },
+            )
+            .seed(3),
+        ),
+    ];
 
     let (n, rounds) = (1_000_000, 300);
     let (dense_ms, wake_ms, wake_stats) = idle_microbench(n, rounds);
@@ -139,7 +154,7 @@ fn main() {
 
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"generated_by\": \"cargo bench --bench perf_pipeline\",");
-    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"schema\": 2,");
     let _ = writeln!(out, "  \"entries\": [");
     for (i, e) in entries.iter().enumerate() {
         json_entry(&mut out, e);
@@ -157,8 +172,16 @@ fn main() {
 
     for e in &entries {
         println!(
-            "{:>26}: {:>7} rounds (cap {:>9}) in {:>8.2} ms  [obs skips {}, act skips {}]",
-            e.name, e.rounds, e.cap, e.wall_ms, e.stats.observe_skips, e.stats.act_skips
+            "{:>26}: {:>7} rounds (cap {:>9}) in {:>8.2} ms  \
+             [{} seed {}; obs skips {}, act skips {}]",
+            e.name,
+            e.rounds,
+            e.cap,
+            e.wall_ms,
+            e.topology,
+            e.seed,
+            e.stats.observe_skips,
+            e.stats.act_skips
         );
     }
     println!(

@@ -41,8 +41,8 @@
 #![warn(missing_debug_implementations)]
 
 use broadcast::decay::{DecayBroadcast, DecayMsg};
-use broadcast::multi_message::{broadcast_known, broadcast_unknown, BatchMode};
-use broadcast::schedule::{EmptyBehavior, SlowKey};
+use broadcast::multi_message::{broadcast_known, broadcast_unknown, BatchMode, KnownRunOpts};
+use broadcast::schedule::SlowKey;
 use broadcast::single_message::broadcast_single;
 use broadcast::Params;
 use radio_sim::graph::Traversal;
@@ -156,9 +156,7 @@ pub fn run_gpx_known(g: &Graph, params: &Params, seed: u64) -> Option<u64> {
         &payloads(1),
         params,
         seed,
-        SlowKey::VirtualDistance,
-        EmptyBehavior::Silent,
-        MAX_ROUNDS,
+        KnownRunOpts::new().with_max_rounds(MAX_ROUNDS),
     )
     .completion_round
 }
@@ -171,9 +169,7 @@ pub fn run_known_k(g: &Graph, params: &Params, seed: u64, k: usize, key: SlowKey
         &payloads(k),
         params,
         seed,
-        key,
-        EmptyBehavior::Silent,
-        MAX_ROUNDS,
+        KnownRunOpts::new().with_slow_key(key).with_max_rounds(MAX_ROUNDS),
     )
     .completion_round
 }

@@ -14,6 +14,12 @@
 //! | [`single_message`] | Theorem 1.1 | single-message broadcast in `O(D + log^6 n)` with CD |
 //! | [`multi_message`] | Theorems 1.2 & 1.3 | k-message broadcast with RLNC |
 //! | [`params`] | all `Θ(·)` constants | one tunable home for every constant |
+//! | [`run`] | — | the [`Scenario`] facade: one declarative front door over every pipeline and baseline |
+//!
+//! Start from [`run`]: declare a [`TopologySpec`] and a [`Workload`], let
+//! [`Scenario`] wire the graph, parameters and driver, and read one unified
+//! [`Outcome`]. The per-theorem free functions stay available for callers
+//! that need the algorithm-specific outcome types.
 //!
 //! Every protocol is a per-node state machine implementing
 //! [`radio_sim::Protocol`]; nodes act only on local knowledge (their id, their
@@ -32,8 +38,15 @@ pub mod layering;
 pub mod multi_message;
 pub mod params;
 pub mod recruiting;
+pub mod run;
 pub mod schedule;
 pub mod single_message;
 pub mod virtual_labels;
 
+pub use adaptive::Pacing;
+pub use multi_message::{BatchMode, KnownRunOpts, MultiRunOpts};
 pub use params::Params;
+pub use run::{
+    Algo, Detail, Outcome, Phases, Scenario, SeedMatrix, SeedRun, TopologySpec, Workload,
+};
+pub use schedule::{EmptyBehavior, SlowKey};

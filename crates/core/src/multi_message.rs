@@ -68,8 +68,10 @@ use std::rc::Rc;
 
 /// Round accounting of one adaptive Theorem 1.3 run, by phase. Work counters
 /// tally rounds actually spent inside each phase; `status` tallies every
-/// dedicated beep round. All zero for runs without the adaptive driver
-/// (e.g. [`broadcast_known`]).
+/// dedicated beep round. Runs without the adaptive driver still account for
+/// every executed round — [`broadcast_known`] has no setup phases, so it
+/// reports all its rounds as `disseminate` work — keeping
+/// `phases.total() == stats.rounds` an invariant of every entry point.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MultiPhaseRounds {
     /// Collision-wave work rounds.
@@ -108,27 +110,87 @@ pub struct MultiOutcome {
     pub stats: RunStats,
 }
 
+/// Knobs of [`broadcast_known`] beyond the graph/source/messages/params/seed
+/// core. The defaults mirror the historical call sites: the paper's
+/// virtual-distance slow keying, silent empty decoders, a 1M-round cap, and
+/// no collision detection (the MMV schedule is analyzed without CD; the
+/// other modes exist for ablations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KnownRunOpts {
+    /// Slow-pattern keying (the E8 ablation switches to [`SlowKey::Level`]).
+    pub slow_key: SlowKey,
+    /// Empty-decoder behavior (the MMV noise stress of Lemma 3.3 uses
+    /// [`EmptyBehavior::Noise`]).
+    pub empty: EmptyBehavior,
+    /// Hard round cap of the run (reported as
+    /// [`MultiOutcome::rounds_budget`]).
+    pub max_rounds: u64,
+    /// Collision mode of the channel.
+    pub mode: CollisionMode,
+}
+
+impl Default for KnownRunOpts {
+    fn default() -> Self {
+        KnownRunOpts {
+            slow_key: SlowKey::VirtualDistance,
+            empty: EmptyBehavior::Silent,
+            max_rounds: 1_000_000,
+            mode: CollisionMode::NoDetection,
+        }
+    }
+}
+
+impl KnownRunOpts {
+    /// The Theorem 1.2 defaults (see the struct docs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the slow-pattern keying.
+    pub fn with_slow_key(mut self, slow_key: SlowKey) -> Self {
+        self.slow_key = slow_key;
+        self
+    }
+
+    /// Overrides the empty-decoder behavior.
+    pub fn with_empty(mut self, empty: EmptyBehavior) -> Self {
+        self.empty = empty;
+        self
+    }
+
+    /// Overrides the hard round cap.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Overrides the collision mode.
+    pub fn with_mode(mut self, mode: CollisionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
 /// Theorem 1.2: known-topology k-message broadcast.
 ///
 /// Builds the GST and virtual distances centrally (the shared-knowledge
 /// model), then runs the MMV schedule with RLNC until every node decodes all
-/// messages or `max_rounds` elapse.
+/// messages or [`KnownRunOpts::max_rounds`] elapse.
+///
+/// Prefer the [`crate::run::Scenario`] facade for end-to-end experiments;
+/// this function is the underlying engine it drives for
+/// [`crate::run::Workload::MultiKnown`].
 ///
 /// # Panics
 ///
 /// Panics if `messages` is empty or the graph is empty.
-// Every argument is an independent experiment knob the benches sweep; a
-// config struct would just push the same eight names one level down.
-#[allow(clippy::too_many_arguments)]
 pub fn broadcast_known(
     graph: &Graph,
     source: NodeId,
     messages: &[BitVec],
     params: &Params,
     seed: u64,
-    slow_key: SlowKey,
-    empty: EmptyBehavior,
-    max_rounds: u64,
+    opts: KnownRunOpts,
 ) -> MultiOutcome {
     assert!(!messages.is_empty(), "need at least one message");
     assert!(graph.node_count() > 0, "graph must be non-empty");
@@ -142,8 +204,8 @@ pub fn broadcast_known(
         &gst::BuildConfig::for_nodes(graph.node_count()),
     );
     let vd = gst::VirtualDistances::compute(graph, &tree);
-    let cfg = ScheduleConfig { log_n: params.log_n, slow_key, empty };
-    let mut sim = Simulator::new(graph.clone(), CollisionMode::NoDetection, seed, |id| {
+    let cfg = ScheduleConfig { log_n: params.log_n, slow_key: opts.slow_key, empty: opts.empty };
+    let mut sim = Simulator::new(graph.clone(), opts.mode, seed, |id| {
         let node =
             MmvScheduleNode::new(cfg, SchedLabels::from_gst(&tree, &vd, id), k, payload_bits);
         if id == source {
@@ -155,20 +217,43 @@ pub fn broadcast_known(
     // Completion advances only when a node receives a packet, so the
     // delivery-gated check policy is exact and avoids the O(n) predicate
     // scan in silent rounds.
-    let completion_round = sim.run_until_with(max_rounds, DoneCheck::OnDelivery, |nodes| {
+    let completion_round = sim.run_until_with(opts.max_rounds, DoneCheck::OnDelivery, |nodes| {
         nodes.iter().all(MmvScheduleNode::is_complete)
     });
     let mut audit = SchedAudit::default();
     for n in sim.nodes() {
         audit.absorb(n.audit());
     }
-    MultiOutcome {
-        completion_round,
-        rounds_budget: max_rounds,
-        audit,
-        phases: MultiPhaseRounds::default(),
-        stats: sim.stats().clone(),
-    }
+    let stats = sim.stats().clone();
+    // Theorem 1.2 has no setup phases: every executed round is schedule-driven
+    // dissemination work, so the unified per-phase accounting stays exact
+    // (`phases.total() == stats.rounds`) across all three theorems.
+    let phases = MultiPhaseRounds { disseminate: stats.rounds, ..MultiPhaseRounds::default() };
+    MultiOutcome { completion_round, rounds_budget: opts.max_rounds, audit, phases, stats }
+}
+
+/// The pre-facade eight-positional-argument signature of [`broadcast_known`],
+/// kept verbatim so downstream code can migrate on its own schedule.
+#[deprecated(note = "use `broadcast_known` with `KnownRunOpts`, or the `run::Scenario` facade")]
+#[expect(clippy::too_many_arguments, reason = "legacy signature kept only for compatibility")]
+pub fn broadcast_known_legacy(
+    graph: &Graph,
+    source: NodeId,
+    messages: &[BitVec],
+    params: &Params,
+    seed: u64,
+    slow_key: SlowKey,
+    empty: EmptyBehavior,
+    max_rounds: u64,
+) -> MultiOutcome {
+    broadcast_known(
+        graph,
+        source,
+        messages,
+        params,
+        seed,
+        KnownRunOpts { slow_key, empty, max_rounds, ..KnownRunOpts::default() },
+    )
 }
 
 /// How messages are grouped for coding.
@@ -1680,12 +1765,12 @@ mod tests {
             &msgs(8),
             &params,
             1,
-            SlowKey::VirtualDistance,
-            EmptyBehavior::Silent,
-            300_000,
+            KnownRunOpts::new().with_max_rounds(300_000),
         );
         assert!(out.completion_round.is_some());
         assert_eq!(out.audit.fast_collisions_in_stretch, 0);
+        assert_eq!(out.phases.total(), out.stats.rounds, "phase accounting must match the run");
+        assert_eq!(out.phases.disseminate, out.stats.rounds, "T1.2 rounds are all dissemination");
     }
 
     #[test]

@@ -1,0 +1,820 @@
+//! # One front door: declarative [`Scenario`]s over every pipeline and baseline
+//!
+//! The repo grew three theorem pipelines and two baselines, each behind a
+//! differently-shaped free function. This module unifies them behind one
+//! declarative facade: describe *what* to run — a [`TopologySpec`], a
+//! [`Workload`], the shared knobs — and [`Scenario::run`] wires up the
+//! graph, parameters, seeds and driver for you, returning one unified
+//! [`Outcome`] regardless of which algorithm ran. [`Scenario::seeds`] sweeps
+//! a seed range and aggregates the results into a [`SeedMatrix`] for benches
+//! and regression suites.
+//!
+//! Graphs are built **lazily** from the spec at run time — the seam where a
+//! streaming million-node generator can later plug in without touching any
+//! call site.
+//!
+//! ## Which entry point do I want?
+//!
+//! | I want to… | Use |
+//! |---|---|
+//! | run any algorithm on a declared topology, compare apples to apples | [`Scenario`] (this module) |
+//! | sweep seeds and aggregate | [`Scenario::seeds`] → [`SeedMatrix`] |
+//! | Theorem 1.1 on a pre-built [`Graph`], typed [`Ghk1Outcome`](crate::single_message::Ghk1Outcome) | [`broadcast_single`](crate::single_message::broadcast_single) and friends |
+//! | Theorem 1.2 with explicit [`KnownRunOpts`] | [`broadcast_known`] |
+//! | Theorem 1.3 with explicit [`MultiRunOpts`] | [`broadcast_unknown_with`] |
+//! | drive a protocol round by round | [`radio_sim::Simulator`] directly |
+//!
+//! The free functions are the engines this facade drives; they stay public
+//! for callers that need the algorithm-specific outcome types. A `Scenario`
+//! run is **bit-identical** to the corresponding free-function call with the
+//! same graph, parameters and seed — `tests/e2e_scenario.rs` pins this on
+//! both collision modes.
+//!
+//! ```
+//! use broadcast::{Scenario, TopologySpec, Workload};
+//!
+//! let out = Scenario::new(
+//!     TopologySpec::Path { n: 8 },
+//!     Workload::Single { payload: 7 },
+//! )
+//! .seed(1)
+//! .run();
+//! let done = out.completion_round.expect("Theorem 1.1 completes");
+//! assert!(done <= out.cap, "the worst-case cap bounds every run");
+//! assert_eq!(out.phases.total(), out.stats.rounds);
+//! ```
+
+use crate::adaptive::Pacing;
+use crate::decay::{DecayBroadcast, DecayMsg, MmvDecayBroadcast};
+use crate::multi_message::{
+    broadcast_known, broadcast_unknown_with, BatchMode, GhkMultiPlan, KnownRunOpts,
+    MultiPhaseRounds, MultiRunOpts,
+};
+use crate::params::Params;
+use crate::schedule::{EmptyBehavior, SchedAudit, SlowKey};
+use crate::single_message::{broadcast_single_with, Ghk1Plan, PhaseRounds};
+use radio_sim::graph::{generators, Traversal};
+use radio_sim::rng::stream_rng;
+use radio_sim::trace::RunStats;
+use radio_sim::{CollisionMode, DoneCheck, Graph, NodeId, Simulator};
+use rlnc::gf2::BitVec;
+
+/// Default hard cap for baseline workloads (the cap the hand-rolled Decay
+/// comparison loops always used).
+const BASELINE_ROUND_CAP: u64 = 5_000_000;
+
+/// A declarative network topology, built lazily at run time.
+///
+/// Randomized families carry their own `graph_seed` (independent of the
+/// scenario's protocol seed), so one scenario can sweep protocol seeds over
+/// a fixed sampled graph.
+#[derive(Clone, Debug)]
+pub enum TopologySpec {
+    /// A path of `n` nodes (diameter `n - 1`).
+    Path {
+        /// Node count.
+        n: usize,
+    },
+    /// A `w × h` grid.
+    Grid {
+        /// Width in nodes.
+        w: usize,
+        /// Height in nodes.
+        h: usize,
+    },
+    /// A star: node 0 is the hub, `n - 1` leaves.
+    Star {
+        /// Node count (hub included).
+        n: usize,
+    },
+    /// A chain of `clusters` cliques of `size` nodes (the corridor-mesh
+    /// family of the emergency-alert scenario).
+    ClusterChain {
+        /// Number of cliques.
+        clusters: usize,
+        /// Nodes per clique.
+        size: usize,
+    },
+    /// A complete binary tree of `n` nodes.
+    BinaryTree {
+        /// Node count.
+        n: usize,
+    },
+    /// A random unit-disk deployment (the classical physical radio model).
+    UnitDisk {
+        /// Node count.
+        n: usize,
+        /// Connection radius in the unit square.
+        radius: f64,
+        /// Seed of the placement stream.
+        graph_seed: u64,
+    },
+    /// A connected Erdős–Rényi `G(n, p)` sample.
+    Gnp {
+        /// Node count.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+        /// Seed of the sampling stream.
+        graph_seed: u64,
+    },
+    /// Any pre-built graph (escape hatch for hand-crafted topologies).
+    Custom(Graph),
+}
+
+impl TopologySpec {
+    /// Materializes the graph. Deterministic: the same spec always builds
+    /// the same graph (randomized families derive their RNG from
+    /// `graph_seed` alone).
+    pub fn build(&self) -> Graph {
+        match self {
+            TopologySpec::Path { n } => generators::path(*n),
+            TopologySpec::Grid { w, h } => generators::grid(*w, *h),
+            TopologySpec::Star { n } => generators::star(*n),
+            TopologySpec::ClusterChain { clusters, size } => {
+                generators::cluster_chain(*clusters, *size)
+            }
+            TopologySpec::BinaryTree { n } => generators::binary_tree(*n),
+            TopologySpec::UnitDisk { n, radius, graph_seed } => {
+                let mut rng = stream_rng(*graph_seed, 0);
+                generators::unit_disk(*n, *radius, &mut rng)
+            }
+            TopologySpec::Gnp { n, p, graph_seed } => {
+                let mut rng = stream_rng(*graph_seed, 0);
+                generators::gnp_connected(*n, *p, &mut rng)
+            }
+            TopologySpec::Custom(g) => g.clone(),
+        }
+    }
+
+    /// A stable machine-readable label (used by the perf bench's JSON
+    /// entries and validated by `scripts/check_bench.py`).
+    pub fn label(&self) -> String {
+        match self {
+            TopologySpec::Path { n } => format!("path({n})"),
+            TopologySpec::Grid { w, h } => format!("grid({w}x{h})"),
+            TopologySpec::Star { n } => format!("star({n})"),
+            TopologySpec::ClusterChain { clusters, size } => {
+                format!("cluster_chain({clusters}x{size})")
+            }
+            TopologySpec::BinaryTree { n } => format!("binary_tree({n})"),
+            TopologySpec::UnitDisk { n, radius, graph_seed } => {
+                format!("unit_disk({n},r={radius},g={graph_seed})")
+            }
+            TopologySpec::Gnp { n, p, graph_seed } => format!("gnp({n},p={p},g={graph_seed})"),
+            TopologySpec::Custom(g) => format!("custom({})", g.node_count()),
+        }
+    }
+}
+
+/// A baseline comparator algorithm (see `crate::decay`). The published
+/// protocols the paper measures against live here so baseline runs share
+/// the exact topology/params/seed wiring of the theorem pipelines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// BGI Decay, `O(D log n + log^2 n)` — the classical no-CD baseline.
+    Decay {
+        /// The broadcast payload.
+        payload: u64,
+    },
+    /// The MMV-framed layered Decay of Lemma 3.2 (nodes must know their BFS
+    /// level; the facade injects it from the built graph, modelling the
+    /// layering phase's outcome).
+    MmvDecay {
+        /// The broadcast payload.
+        payload: u64,
+        /// Whether prompted non-holders transmit noise (the Lemma 3.2
+        /// worst-case stress) or stay silent (classical layered Decay).
+        noise: bool,
+    },
+}
+
+/// What to run on the topology.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// Theorem 1.1: single-message broadcast with collision detection,
+    /// run adaptively.
+    Single {
+        /// The broadcast payload.
+        payload: u64,
+    },
+    /// Theorem 1.2: known-topology k-message broadcast over the MMV GST
+    /// schedule with RLNC.
+    MultiKnown {
+        /// The messages, all of one bit length.
+        messages: Vec<BitVec>,
+        /// Slow-pattern keying (the E8 ablation).
+        slow_key: SlowKey,
+        /// Empty-decoder behavior (the MMV noise stress).
+        empty: EmptyBehavior,
+    },
+    /// Theorem 1.3: unknown-topology k-message broadcast with collision
+    /// detection, run adaptively.
+    MultiUnknown {
+        /// The messages, all of one bit length.
+        messages: Vec<BitVec>,
+        /// Message batching across ring handoffs.
+        batch: BatchMode,
+    },
+    /// A published baseline, for apples-to-apples comparison runs.
+    Baseline(Algo),
+}
+
+impl Workload {
+    /// A stable machine-readable kind label (used in bench JSON entries).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Workload::Single { .. } => "single",
+            Workload::MultiKnown { .. } => "multi_known",
+            Workload::MultiUnknown { .. } => "multi_unknown",
+            Workload::Baseline(Algo::Decay { .. }) => "decay",
+            Workload::Baseline(Algo::MmvDecay { .. }) => "mmv_decay",
+        }
+    }
+
+    /// The collision mode each workload's theorem (or analysis) assumes:
+    /// Theorems 1.1/1.3 need collision detection; the MMV schedule and the
+    /// Decay baselines are analyzed without it.
+    fn default_mode(&self) -> CollisionMode {
+        match self {
+            Workload::Single { .. } | Workload::MultiUnknown { .. } => CollisionMode::Detection,
+            Workload::MultiKnown { .. } | Workload::Baseline(_) => CollisionMode::NoDetection,
+        }
+    }
+}
+
+/// Unified per-phase round accounting across all workloads.
+///
+/// The Theorem 1.1 pipeline reports its in-ring broadcast rounds as
+/// `disseminate`; workloads without setup phases (Theorem 1.2, baselines)
+/// report every executed round as `disseminate`. The invariant
+/// `phases.total() == stats.rounds` holds for every workload.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Phases {
+    /// Collision-wave layering work rounds.
+    pub wave: u64,
+    /// GST-construction work rounds.
+    pub construct: u64,
+    /// Virtual-labeling work rounds (Theorem 1.3 only).
+    pub label: u64,
+    /// Payload-dissemination work rounds.
+    pub disseminate: u64,
+    /// Inter-ring handoff work rounds.
+    pub handoff: u64,
+    /// Status-beep rounds of the adaptive drivers.
+    pub status: u64,
+}
+
+impl Phases {
+    /// Total rounds executed.
+    pub fn total(&self) -> u64 {
+        self.wave + self.construct + self.label + self.disseminate + self.handoff + self.status
+    }
+}
+
+impl From<PhaseRounds> for Phases {
+    fn from(p: PhaseRounds) -> Self {
+        // Exhaustive destructuring (no `..`): adding a phase field to the
+        // pipeline accounting without mapping it here must not compile, or
+        // the `phases.total() == stats.rounds` invariant would silently
+        // break for facade callers.
+        let PhaseRounds { wave, construct, broadcast, handoff, status } = p;
+        Phases { wave, construct, label: 0, disseminate: broadcast, handoff, status }
+    }
+}
+
+impl From<MultiPhaseRounds> for Phases {
+    fn from(p: MultiPhaseRounds) -> Self {
+        // Exhaustive destructuring, same rationale as above.
+        let MultiPhaseRounds { wave, construct, label, disseminate, handoff, status } = p;
+        Phases { wave, construct, label, disseminate, handoff, status }
+    }
+}
+
+/// The algorithm-specific extension of an [`Outcome`].
+#[derive(Clone, Debug)]
+pub enum Detail {
+    /// Theorem 1.1 extras.
+    Single {
+        /// The executed plan (per-phase worst-case budgets).
+        plan: Ghk1Plan,
+        /// Nodes that used the construction fallback.
+        fallbacks: usize,
+    },
+    /// Theorem 1.2 extras.
+    MultiKnown {
+        /// The slow keying the schedule ran with.
+        slow_key: SlowKey,
+        /// The empty-decoder behavior the schedule ran with.
+        empty: EmptyBehavior,
+    },
+    /// Theorem 1.3 extras.
+    MultiUnknown {
+        /// The executed plan (ring/batch pipeline geometry and caps).
+        plan: GhkMultiPlan,
+    },
+    /// Baseline extras.
+    Baseline {
+        /// Which comparator ran.
+        algo: Algo,
+    },
+}
+
+/// The unified outcome of one [`Scenario`] run.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Round at which the workload's completion predicate first held
+    /// everywhere (`None`: the run hit its cap without completing).
+    pub completion_round: Option<u64>,
+    /// The worst-case round cap that bounded the run — the plan's
+    /// `total_rounds()` for the adaptive pipelines, the configured
+    /// `max_rounds`/round cap otherwise.
+    pub cap: u64,
+    /// Rounds actually executed, by phase.
+    pub phases: Phases,
+    /// Channel statistics of the run.
+    pub stats: RunStats,
+    /// Aggregated MMV-schedule audit counters (zero for workloads that
+    /// never run the schedule).
+    pub audit: SchedAudit,
+    /// Algorithm-specific extension.
+    pub detail: Detail,
+}
+
+impl Outcome {
+    /// Whether the run completed within its worst-case cap.
+    pub fn completed_within_cap(&self) -> bool {
+        self.completion_round.is_some_and(|r| r <= self.cap)
+    }
+}
+
+/// One run of a [`SeedMatrix`].
+#[derive(Clone, Debug)]
+pub struct SeedRun {
+    /// The master seed of this run.
+    pub seed: u64,
+    /// Its outcome.
+    pub outcome: Outcome,
+}
+
+/// Aggregated outcomes of one scenario swept over a seed range
+/// ([`Scenario::seeds`]) — the shape benches and regression suites consume.
+#[derive(Clone, Debug)]
+pub struct SeedMatrix {
+    /// The scenario's label (`topology/workload`).
+    pub label: String,
+    /// One entry per seed, in sweep order.
+    pub runs: Vec<SeedRun>,
+}
+
+impl SeedMatrix {
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Whether every run completed.
+    pub fn all_completed(&self) -> bool {
+        self.runs.iter().all(|r| r.outcome.completion_round.is_some())
+    }
+
+    /// Whether every run completed within its worst-case cap.
+    pub fn all_within_caps(&self) -> bool {
+        self.runs.iter().all(|r| r.outcome.completed_within_cap())
+    }
+
+    /// Seeds whose run did not complete.
+    pub fn failures(&self) -> Vec<u64> {
+        self.runs.iter().filter(|r| r.outcome.completion_round.is_none()).map(|r| r.seed).collect()
+    }
+
+    /// Completion rounds of the completed runs.
+    fn completions(&self) -> impl Iterator<Item = u64> + '_ {
+        self.runs.iter().filter_map(|r| r.outcome.completion_round)
+    }
+
+    /// Slowest completion round among completed runs.
+    pub fn worst_rounds(&self) -> Option<u64> {
+        self.completions().max()
+    }
+
+    /// Fastest completion round among completed runs.
+    pub fn best_rounds(&self) -> Option<u64> {
+        self.completions().min()
+    }
+
+    /// Mean completion round over completed runs.
+    pub fn mean_rounds(&self) -> Option<f64> {
+        let (mut sum, mut count) = (0u64, 0u64);
+        for r in self.completions() {
+            sum += r;
+            count += 1;
+        }
+        (count > 0).then(|| sum as f64 / count as f64)
+    }
+
+    /// One-line aggregate report (the bench table cell).
+    pub fn report(&self) -> String {
+        let completed = self.runs.len() - self.failures().len();
+        match (self.best_rounds(), self.mean_rounds(), self.worst_rounds()) {
+            (Some(best), Some(mean), Some(worst)) => {
+                let cap = self.runs.iter().map(|r| r.outcome.cap).max().unwrap_or(0);
+                format!(
+                    "{}: {completed}/{} seeds completed; rounds min/mean/max = \
+                     {best}/{mean:.0}/{worst} (cap {cap})",
+                    self.label,
+                    self.runs.len(),
+                )
+            }
+            _ => format!("{}: 0/{} seeds completed", self.label, self.runs.len()),
+        }
+    }
+}
+
+/// A declarative run description: topology + workload + the shared knobs
+/// (params, collision mode, pacing, seed, round cap). Build one with
+/// [`Scenario::new`], chain the setters, then [`Scenario::run`] it or sweep
+/// [`Scenario::seeds`]. See the module docs for the entry-point table and
+/// the bit-identity guarantee against the legacy free functions.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    topology: TopologySpec,
+    workload: Workload,
+    source: NodeId,
+    params: Option<Params>,
+    mode: Option<CollisionMode>,
+    pacing: Pacing,
+    seed: u64,
+    round_cap: Option<u64>,
+}
+
+impl Scenario {
+    /// A scenario with the default knobs: source node 0,
+    /// [`Params::scaled`] for the built graph's size, the workload's
+    /// canonical collision mode, [`Pacing::Segment`], seed 0, and the
+    /// workload's default round cap.
+    pub fn new(topology: TopologySpec, workload: Workload) -> Self {
+        Scenario {
+            topology,
+            workload,
+            source: NodeId::new(0),
+            params: None,
+            mode: None,
+            pacing: Pacing::Segment,
+            seed: 0,
+            round_cap: None,
+        }
+    }
+
+    /// Sets the source node (default: node 0).
+    pub fn source(mut self, source: NodeId) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Overrides the derived [`Params::scaled`] constants.
+    pub fn params(mut self, params: Params) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Overrides the workload's canonical collision mode (Theorems 1.1/1.3
+    /// default to [`CollisionMode::Detection`]; Theorem 1.2 and the
+    /// baselines to [`CollisionMode::NoDetection`]).
+    pub fn collision_mode(mut self, mode: CollisionMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Sets the driver pacing of the adaptive pipelines
+    /// ([`Pacing::PerStep`] reproduces the batched run round for round with
+    /// every node polled; used by the equivalence suites).
+    pub fn pacing(mut self, pacing: Pacing) -> Self {
+        self.pacing = pacing;
+        self
+    }
+
+    /// Sets the master seed (default 0). [`Scenario::seeds`] ignores this
+    /// and sweeps its own range.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the hard round cap of cap-configured workloads
+    /// ([`Workload::MultiKnown`]: default 1M rounds; baselines: default 5M).
+    /// The adaptive pipelines derive their cap from the paper's plan
+    /// (`total_rounds()`) and ignore this knob.
+    pub fn round_cap(mut self, cap: u64) -> Self {
+        self.round_cap = Some(cap);
+        self
+    }
+
+    /// The topology spec.
+    pub fn topology(&self) -> &TopologySpec {
+        &self.topology
+    }
+
+    /// The workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The configured master seed.
+    pub fn master_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// `topology/workload`, the label under which sweeps report.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.topology.label(), self.workload.kind())
+    }
+
+    /// Builds the scenario's graph (what [`Scenario::run`] will run on).
+    pub fn graph(&self) -> Graph {
+        self.topology.build()
+    }
+
+    /// Builds the graph and runs the workload once under the configured
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the built graph is empty, or a multi-message workload has
+    /// no messages.
+    pub fn run(&self) -> Outcome {
+        let graph = self.topology.build();
+        self.run_on(&graph)
+    }
+
+    /// Runs the workload on a pre-built graph under the configured seed —
+    /// for callers that already materialized [`Scenario::graph`] (to print
+    /// its stats, time only the run, or amortize an expensive build) and
+    /// must not pay a second build. The graph should be the one this
+    /// scenario's spec builds; passing a different graph runs on it
+    /// verbatim, exactly like [`TopologySpec::Custom`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty, or a multi-message workload has no
+    /// messages.
+    pub fn run_on(&self, graph: &Graph) -> Outcome {
+        self.run_seed_on(graph, self.seed)
+    }
+
+    /// Builds the graph once and runs the workload for every seed in
+    /// `seeds`, aggregating into a [`SeedMatrix`].
+    pub fn seeds(&self, seeds: std::ops::Range<u64>) -> SeedMatrix {
+        let graph = self.topology.build();
+        let runs =
+            seeds.map(|seed| SeedRun { seed, outcome: self.run_seed_on(&graph, seed) }).collect();
+        SeedMatrix { label: self.label(), runs }
+    }
+
+    /// Runs the workload on an already-built graph. Each arm delegates to
+    /// the algorithm's engine function with exactly the arguments the
+    /// legacy call sites passed, so runs are bit-identical to the free
+    /// functions (pinned by `tests/e2e_scenario.rs`).
+    fn run_seed_on(&self, graph: &Graph, seed: u64) -> Outcome {
+        let params = self.params.clone().unwrap_or_else(|| Params::scaled(graph.node_count()));
+        let mode = self.mode.unwrap_or_else(|| self.workload.default_mode());
+        match &self.workload {
+            Workload::Single { payload } => {
+                let out = broadcast_single_with(
+                    graph,
+                    self.source,
+                    *payload,
+                    &params,
+                    seed,
+                    mode,
+                    self.pacing,
+                );
+                Outcome {
+                    completion_round: out.completion_round,
+                    cap: out.plan.total_rounds(),
+                    phases: out.phases.into(),
+                    stats: out.stats,
+                    audit: out.audit,
+                    detail: Detail::Single { plan: out.plan, fallbacks: out.fallbacks },
+                }
+            }
+            Workload::MultiKnown { messages, slow_key, empty } => {
+                let mut opts =
+                    KnownRunOpts::new().with_slow_key(*slow_key).with_empty(*empty).with_mode(mode);
+                if let Some(cap) = self.round_cap {
+                    opts = opts.with_max_rounds(cap);
+                }
+                let out = broadcast_known(graph, self.source, messages, &params, seed, opts);
+                Outcome {
+                    completion_round: out.completion_round,
+                    cap: out.rounds_budget,
+                    phases: out.phases.into(),
+                    stats: out.stats,
+                    audit: out.audit,
+                    detail: Detail::MultiKnown { slow_key: *slow_key, empty: *empty },
+                }
+            }
+            Workload::MultiUnknown { messages, batch } => {
+                let opts = MultiRunOpts::new(*batch).with_mode(mode).with_pacing(self.pacing);
+                let out = broadcast_unknown_with(graph, self.source, messages, &params, seed, opts);
+                // The engine derives the same plan internally; recompute it
+                // here (deterministic) so the typed detail carries the full
+                // ring/batch geometry, not just the cap. The cap check below
+                // keeps this derivation honest if the engine's ever changes.
+                let d = graph.bfs(self.source).max_level();
+                let plan = GhkMultiPlan::new_adaptive(&params, d.max(1), messages.len(), *batch);
+                assert_eq!(
+                    plan.total_rounds(),
+                    out.rounds_budget,
+                    "facade plan derivation diverged from the engine's"
+                );
+                Outcome {
+                    completion_round: out.completion_round,
+                    cap: out.rounds_budget,
+                    phases: out.phases.into(),
+                    stats: out.stats,
+                    audit: out.audit,
+                    detail: Detail::MultiUnknown { plan },
+                }
+            }
+            Workload::Baseline(algo) => self.run_baseline(graph, &params, mode, seed, *algo),
+        }
+    }
+
+    /// Runs a baseline comparator with the wiring the hand-rolled
+    /// comparison loops used (delivery-gated completion scans; informedness
+    /// flips only on receptions, so the policy is exact).
+    fn run_baseline(
+        &self,
+        graph: &Graph,
+        params: &Params,
+        mode: CollisionMode,
+        seed: u64,
+        algo: Algo,
+    ) -> Outcome {
+        assert!(graph.node_count() > 0, "graph must be non-empty");
+        let cap = self.round_cap.unwrap_or(BASELINE_ROUND_CAP);
+        let source = self.source;
+        let (completion_round, stats) = match algo {
+            Algo::Decay { payload } => {
+                let mut sim = Simulator::new(graph.clone(), mode, seed, |id| {
+                    DecayBroadcast::new(params, (id == source).then_some(DecayMsg(payload)))
+                });
+                let done = sim.run_until_with(cap, DoneCheck::OnDelivery, |ns| {
+                    ns.iter().all(DecayBroadcast::is_informed)
+                });
+                (done, sim.stats().clone())
+            }
+            Algo::MmvDecay { payload, noise } => {
+                let layering = graph.bfs(source);
+                let levels: Vec<u32> = graph.node_ids().map(|v| layering.level(v)).collect();
+                let mut sim = Simulator::new(graph.clone(), mode, seed, |id| {
+                    MmvDecayBroadcast::new(
+                        params,
+                        levels[id.index()],
+                        noise,
+                        (id == source).then_some(payload),
+                    )
+                });
+                let done = sim.run_until_with(cap, DoneCheck::OnDelivery, |ns| {
+                    ns.iter().all(MmvDecayBroadcast::is_informed)
+                });
+                (done, sim.stats().clone())
+            }
+        };
+        Outcome {
+            completion_round,
+            cap,
+            phases: Phases { disseminate: stats.rounds, ..Phases::default() },
+            stats,
+            audit: SchedAudit::default(),
+            detail: Detail::Baseline { algo },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_build_expected_sizes() {
+        assert_eq!(TopologySpec::Path { n: 9 }.build().node_count(), 9);
+        assert_eq!(TopologySpec::Grid { w: 3, h: 4 }.build().node_count(), 12);
+        assert_eq!(TopologySpec::Star { n: 7 }.build().node_count(), 7);
+        assert_eq!(TopologySpec::ClusterChain { clusters: 3, size: 4 }.build().node_count(), 12);
+        assert_eq!(TopologySpec::BinaryTree { n: 15 }.build().node_count(), 15);
+        let u = TopologySpec::UnitDisk { n: 20, radius: 0.5, graph_seed: 3 };
+        assert_eq!(u.build().node_count(), 20);
+        let g = TopologySpec::Gnp { n: 16, p: 0.3, graph_seed: 4 };
+        assert_eq!(g.build().node_count(), 16);
+    }
+
+    #[test]
+    fn randomized_specs_build_deterministically() {
+        let spec = TopologySpec::UnitDisk { n: 30, radius: 0.3, graph_seed: 11 };
+        let (a, b) = (spec.build(), spec.build());
+        assert_eq!(a.edge_count(), b.edge_count(), "same spec must build the same graph");
+    }
+
+    #[test]
+    fn phases_roundtrip_from_both_pipelines() {
+        let single = PhaseRounds { wave: 1, construct: 2, broadcast: 3, handoff: 4, status: 5 };
+        let p: Phases = single.into();
+        assert_eq!(p.total(), single.total());
+        assert_eq!(p.disseminate, 3);
+        let multi = MultiPhaseRounds {
+            wave: 1,
+            construct: 2,
+            label: 3,
+            disseminate: 4,
+            handoff: 5,
+            status: 6,
+        };
+        let p: Phases = multi.into();
+        assert_eq!(p.total(), multi.total());
+        assert_eq!(p.label, 3);
+    }
+
+    #[test]
+    fn baseline_decay_runs_and_reports_phases() {
+        let s = Scenario::new(
+            TopologySpec::ClusterChain { clusters: 3, size: 4 },
+            Workload::Baseline(Algo::Decay { payload: 5 }),
+        )
+        .seed(1);
+        let out = s.run();
+        assert!(out.completion_round.is_some());
+        assert!(out.completed_within_cap());
+        assert_eq!(out.phases.total(), out.stats.rounds);
+        assert!(matches!(out.detail, Detail::Baseline { algo: Algo::Decay { payload: 5 } }));
+    }
+
+    #[test]
+    fn baseline_mmv_decay_runs_with_and_without_noise() {
+        for noise in [false, true] {
+            let s = Scenario::new(
+                TopologySpec::Grid { w: 4, h: 4 },
+                Workload::Baseline(Algo::MmvDecay { payload: 9, noise }),
+            )
+            .seed(2);
+            let out = s.run();
+            assert!(out.completion_round.is_some(), "noise={noise} failed");
+        }
+    }
+
+    #[test]
+    fn seed_matrix_aggregates() {
+        let m = Scenario::new(
+            TopologySpec::Path { n: 10 },
+            Workload::Baseline(Algo::Decay { payload: 1 }),
+        )
+        .seeds(0..3);
+        assert_eq!(m.len(), 3);
+        assert!(m.all_completed(), "failures: {:?}", m.failures());
+        assert!(m.all_within_caps());
+        let (best, worst) = (m.best_rounds().unwrap(), m.worst_rounds().unwrap());
+        assert!(best <= worst);
+        let mean = m.mean_rounds().unwrap();
+        assert!(best as f64 <= mean && mean <= worst as f64);
+        assert!(m.report().contains("3/3 seeds completed"), "report: {}", m.report());
+    }
+
+    #[test]
+    fn round_cap_override_applies_to_capped_workloads() {
+        // A cap too small to finish: the run must stop at the cap and
+        // report no completion rather than running to the default.
+        let s = Scenario::new(
+            TopologySpec::Path { n: 16 },
+            Workload::Baseline(Algo::Decay { payload: 1 }),
+        )
+        .round_cap(2)
+        .seed(0);
+        let out = s.run();
+        assert_eq!(out.cap, 2);
+        assert!(out.completion_round.is_none());
+        assert!(out.stats.rounds <= 2);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let s = Scenario::new(
+            TopologySpec::UnitDisk { n: 80, radius: 0.18, graph_seed: 2024 },
+            Workload::Single { payload: 1 },
+        );
+        assert_eq!(s.label(), "unit_disk(80,r=0.18,g=2024)/single");
+        let s = Scenario::new(
+            TopologySpec::ClusterChain { clusters: 20, size: 6 },
+            Workload::MultiUnknown {
+                messages: vec![BitVec::from_u64(1, 8)],
+                batch: BatchMode::FullK,
+            },
+        );
+        assert_eq!(s.label(), "cluster_chain(20x6)/multi_unknown");
+    }
+}

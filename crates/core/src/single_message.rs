@@ -936,6 +936,9 @@ impl ConsDriver for Driver {
 /// no-detection mode exists for determinism and ablation tests — the wave
 /// stalls on dense graphs there, and the run reports `None`).
 ///
+/// Thin wrapper over [`broadcast_single_with`] with the production pacing;
+/// prefer the [`crate::run::Scenario`] facade for end-to-end experiments.
+///
 /// # Panics
 ///
 /// Panics if the graph is empty.
@@ -950,7 +953,10 @@ pub fn broadcast_single_in_mode(
     broadcast_single_with(graph, source, payload, params, seed, mode, Pacing::Segment)
 }
 
-/// [`broadcast_single_in_mode`] with an explicit driver [`Pacing`].
+/// [`broadcast_single_in_mode`] with an explicit driver [`Pacing`] — the
+/// single core path all Theorem 1.1 entry points (including
+/// [`crate::run::Scenario`] with [`crate::run::Workload::Single`]) collapse
+/// onto.
 ///
 /// [`Pacing::Segment`] (the production default) batches work rounds through
 /// the engine's wake-list fast path; [`Pacing::PerStep`] polls every node
@@ -993,6 +999,9 @@ pub fn broadcast_single_with(
 
 /// Runs Theorem 1.1 end to end on `graph` from `source` (with collision
 /// detection, as the theorem requires).
+///
+/// Thin wrapper over [`broadcast_single_with`]; prefer the
+/// [`crate::run::Scenario`] facade for end-to-end experiments.
 ///
 /// # Panics
 ///

@@ -1,47 +1,46 @@
 //! Emergency alert: one message must reach a whole city-scale mesh fast.
 //! Compares the paper's collision-detection broadcast (Theorem 1.1), run
 //! adaptively with phase-completion detection, against the classical Decay
-//! baseline on a high-diameter network.
+//! baseline on a high-diameter network — both declared through the same
+//! `Scenario` facade, so the comparison shares topology, params and seed
+//! wiring by construction.
 //!
 //! ```sh
 //! cargo run --release --example emergency_alert
 //! ```
 
-use broadcast::decay::{DecayBroadcast, DecayMsg};
-use broadcast::single_message::broadcast_single;
-use broadcast::Params;
-use radio_sim::graph::{generators, Traversal};
-use radio_sim::{CollisionMode, NodeId, Simulator};
+use broadcast::{Algo, Detail, Scenario, TopologySpec, Workload};
+use radio_sim::graph::Traversal;
+use radio_sim::NodeId;
 
 fn main() {
     // A long corridor of dense neighborhoods: 20 blocks of 6 radios.
-    let graph = generators::cluster_chain(20, 6);
+    let corridor = TopologySpec::ClusterChain { clusters: 20, size: 6 };
+    let graph = corridor.build();
     let d = graph.bfs(NodeId::new(0)).max_level();
-    let params = Params::scaled(graph.node_count());
     println!("corridor mesh: {} radios, diameter {}", graph.node_count(), d);
 
-    let ghk = broadcast_single(&graph, NodeId::new(0), 0xA1E57, &params, 1);
+    let ghk = Scenario::new(corridor.clone(), Workload::Single { payload: 0xA1E57 })
+        .seed(1)
+        .run_on(&graph);
     let ghk_rounds = ghk.completion_round.expect("alert delivered");
+    let Detail::Single { plan, .. } = &ghk.detail else { unreachable!() };
     println!(
         "GHK-CD (adaptive T1.1):  {ghk_rounds} rounds \
          (worst-case cap {}, {} rings, phases {:?})",
-        ghk.plan.total_rounds(),
-        ghk.plan.ring_count,
-        ghk.phases,
+        ghk.cap, plan.ring_count, ghk.phases,
     );
 
-    let mut sim = Simulator::new(graph.clone(), CollisionMode::NoDetection, 1, |id| {
-        DecayBroadcast::new(&params, (id.index() == 0).then_some(DecayMsg(0xA1E57)))
-    });
-    let decay = sim
-        .run_until(5_000_000, |ns| ns.iter().all(DecayBroadcast::is_informed))
-        .expect("alert delivered");
-    println!("BGI Decay (no CD):       {decay} rounds");
+    let decay = Scenario::new(corridor, Workload::Baseline(Algo::Decay { payload: 0xA1E57 }))
+        .seed(1)
+        .run_on(&graph);
+    let decay_rounds = decay.completion_round.expect("alert delivered");
+    println!("BGI Decay (no CD):       {decay_rounds} rounds");
 
-    let ratio = ghk_rounds as f64 / decay.max(1) as f64;
+    let ratio = ghk_rounds as f64 / decay_rounds.max(1) as f64;
     println!(
         "adaptive GHK-CD lands at {ratio:.1}x Decay on this mesh (fixed windows needed ~41,000x);\n\
          its worst-case guarantee stays O(D + polylog): cap/actual = {:.0}x headroom",
-        ghk.plan.total_rounds() as f64 / ghk_rounds as f64
+        ghk.cap as f64 / ghk_rounds as f64
     );
 }

@@ -1,39 +1,43 @@
 //! Firmware update: push a k-packet image to every sensor (Theorem 1.2,
 //! known topology), and see what network coding buys over plain routing.
+//! The coded run goes through the `Scenario` facade; the routing baseline
+//! reuses the identical schedule labels on the same graph.
 //!
 //! ```sh
 //! cargo run --release --example firmware_update
 //! ```
 
 use baselines::routing::RoutingNode;
-use broadcast::multi_message::broadcast_known;
-use broadcast::schedule::{EmptyBehavior, SchedLabels, ScheduleConfig, SlowKey};
-use broadcast::Params;
-use radio_sim::graph::generators;
+use broadcast::schedule::{SchedLabels, ScheduleConfig};
+use broadcast::{EmptyBehavior, Params, Scenario, SlowKey, TopologySpec, Workload};
 use radio_sim::rng::stream_rng;
 use radio_sim::{CollisionMode, DoneCheck, NodeId, Simulator};
 use rlnc::gf2::BitVec;
 
 fn main() {
-    let graph = generators::grid(8, 8); // a warehouse sensor grid
-    let params = Params::scaled(graph.node_count());
+    let warehouse = TopologySpec::Grid { w: 8, h: 8 }; // a warehouse sensor grid
     let k = 16; // firmware split into 16 packets
     let image: Vec<BitVec> = (0..k as u64).map(|i| BitVec::from_u64(0xF00D + i * 7, 32)).collect();
+
+    let scenario = Scenario::new(
+        warehouse.clone(),
+        Workload::MultiKnown {
+            messages: image,
+            slow_key: SlowKey::VirtualDistance,
+            empty: EmptyBehavior::Silent,
+        },
+    )
+    .seed(3)
+    .round_cap(4_000_000);
+
+    let graph = scenario.graph();
     println!("pushing a {k}-packet image to {} sensors", graph.node_count());
 
-    let coded = broadcast_known(
-        &graph,
-        NodeId::new(0),
-        &image,
-        &params,
-        3,
-        SlowKey::VirtualDistance,
-        EmptyBehavior::Silent,
-        4_000_000,
-    );
+    let coded = scenario.run_on(&graph);
     println!("RLNC over the MMV schedule: {:?} rounds", coded.completion_round.unwrap());
 
     // Routing baseline on the identical schedule.
+    let params = Params::scaled(graph.node_count());
     let mut rng = stream_rng(3, 777);
     let (tree, _) = gst::build_gst(
         &graph,

@@ -1,0 +1,26 @@
+//! Seed sweep: one declarative scenario, aggregated over a seed range —
+//! `Scenario::seeds` builds the graph once and returns a `SeedMatrix`
+//! report, replacing the per-bench copy-pasted seed loops.
+//!
+//! ```sh
+//! cargo run --release --example seed_sweep
+//! ```
+
+use broadcast::{Algo, Scenario, TopologySpec, Workload};
+
+fn main() {
+    let corridor = TopologySpec::ClusterChain { clusters: 20, size: 6 };
+
+    let ghk = Scenario::new(corridor.clone(), Workload::Single { payload: 0xA1E57 }).seeds(0..5);
+    println!("{}", ghk.report());
+    assert!(ghk.all_completed(), "T1.1 failed on seeds {:?}", ghk.failures());
+    assert!(ghk.all_within_caps(), "a run exceeded its worst-case cap");
+
+    let decay =
+        Scenario::new(corridor, Workload::Baseline(Algo::Decay { payload: 0xA1E57 })).seeds(0..5);
+    println!("{}", decay.report());
+    assert!(decay.all_completed(), "Decay failed on seeds {:?}", decay.failures());
+
+    let ratio = ghk.mean_rounds().unwrap() / decay.mean_rounds().unwrap().max(1.0);
+    println!("mean GHK-CD / mean Decay = {ratio:.1}x over 5 shared seeds");
+}

@@ -2,42 +2,46 @@
 //! it has no map of — Theorem 1.3 end to end (collision-wave layering,
 //! distributed GST, distributed virtual labels, batched RLNC, FEC handoffs),
 //! run **adaptively**: every phase window closes via in-model status beeps
-//! as soon as its work is done, with `GhkMultiPlan::total_rounds()` kept as
-//! the worst-case cap.
+//! as soon as its work is done, with the plan's `total_rounds()` kept as the
+//! worst-case cap. Declared through the `Scenario` facade.
 //!
 //! ```sh
 //! cargo run --release --example telemetry_backhaul
 //! ```
 
-use broadcast::multi_message::{broadcast_unknown, BatchMode};
-use broadcast::Params;
-use radio_sim::graph::{generators, Traversal};
+use broadcast::{BatchMode, Scenario, TopologySpec, Workload};
+use radio_sim::graph::Traversal;
 use radio_sim::NodeId;
 use rlnc::gf2::BitVec;
 
 fn main() {
-    let graph = generators::cluster_chain(6, 6);
-    let d = graph.bfs(NodeId::new(0)).max_level();
-    let params = Params::scaled(graph.node_count());
     let frames: Vec<BitVec> = (0..8u64).map(|i| BitVec::from_u64(0xBEE0 + i, 32)).collect();
+    let scenario = Scenario::new(
+        TopologySpec::ClusterChain { clusters: 6, size: 6 },
+        Workload::MultiUnknown { messages: frames.clone(), batch: BatchMode::FullK },
+    )
+    .seed(11);
+
+    let graph = scenario.graph();
+    let d = graph.bfs(NodeId::new(0)).max_level();
     println!(
         "gateway streaming {} frames across {} unknown-topology nodes (D = {d})",
         frames.len(),
         graph.node_count()
     );
 
-    let out = broadcast_unknown(&graph, NodeId::new(0), &frames, &params, 11, BatchMode::FullK);
+    let out = scenario.run_on(&graph);
     match out.completion_round {
         Some(r) => {
             println!(
                 "all frames decoded everywhere after {r} rounds \
                  (worst-case cap {}, {:.0}x headroom)",
-                out.rounds_budget,
-                out.rounds_budget as f64 / r.max(1) as f64
+                out.cap,
+                out.cap as f64 / r.max(1) as f64
             );
             println!("  phase breakdown: {:?}", out.phases);
             println!("  channel: {}", out.stats);
         }
-        None => println!("streaming failed within {} rounds", out.rounds_budget),
+        None => println!("streaming failed within {} rounds", out.cap),
     }
 }

@@ -4,13 +4,60 @@
 Fails CI when the wake-hint fast path silently regresses to dense stepping
 (`act_skips == 0` on a pipeline entry), when a pipeline's round count drifts
 above its pinned regression budget (mirroring tests/regression_rounds.rs for
-the exact bench seeds), or when the idle microbench speedup collapses.
+the exact bench seeds), when the idle microbench speedup collapses, or —
+since the Scenario-facade migration (schema 2) — when an entry's declarative
+scenario descriptor (topology label, workload kind, seed) or any required
+field is missing or drifts from the pinned declaration.
 
 Usage: python3 scripts/check_bench.py [path/to/BENCH_pipeline.json]
 """
 
 import json
 import sys
+
+EXPECTED_SCHEMA = 2
+
+# Every field each pipeline entry must carry (schema 2).
+REQUIRED_ENTRY_FIELDS = (
+    "name",
+    "scenario",
+    "rounds",
+    "cap",
+    "wall_ms",
+    "transmissions",
+    "deliveries",
+    "observe_skips",
+    "act_skips",
+    "idle_fastforward",
+)
+REQUIRED_SCENARIO_FIELDS = ("topology", "workload", "seed")
+
+# The declarative scenario each entry must have run — the bench declares its
+# runs through the Scenario facade, and these descriptors pin the declaration
+# itself (a silently swapped topology or seed would otherwise still pass the
+# round pins by luck).
+EXPECTED_SCENARIOS = {
+    "e1_corridor_single": {
+        "topology": "cluster_chain(20x6)",
+        "workload": "single",
+        "seed": 1,
+    },
+    "e2_unit_disk_single": {
+        "topology": "unit_disk(80,r=0.18,g=2024)",
+        "workload": "single",
+        "seed": 1,
+    },
+    "multi_telemetry_backhaul": {
+        "topology": "cluster_chain(6x6)",
+        "workload": "multi_unknown",
+        "seed": 11,
+    },
+    "multi_firmware_grid": {
+        "topology": "grid(6x6)",
+        "workload": "multi_unknown",
+        "seed": 3,
+    },
+}
 
 # Round budgets for the bench's fixed seeds; generous versions of the pins in
 # tests/regression_rounds.rs (which sweep several seeds).
@@ -23,9 +70,9 @@ ROUND_BUDGETS = {
 
 # Exact round counts at the bench's fixed seeds. Runs are deterministic, so
 # any drift here means the executed round sequence changed — the segment
-# scheduler promises bit-identity with per-round stepping (the corridor has
-# been exactly 677 since PR 2). An intentional algorithm change must update
-# these pins explicitly.
+# scheduler and the Scenario facade both promise bit-identity with the
+# per-round legacy entry points (the corridor has been exactly 677 since
+# PR 2). An intentional algorithm change must update these pins explicitly.
 EXPECTED_ROUNDS = {
     "e1_corridor_single": 677,
     "e2_unit_disk_single": 2_146,
@@ -36,41 +83,69 @@ EXPECTED_ROUNDS = {
 MIN_MICROBENCH_SPEEDUP = 50.0
 
 
+def check_entry(entry, failures):
+    name = entry.get("name", "<unnamed>")
+    missing = [f for f in REQUIRED_ENTRY_FIELDS if f not in entry]
+    if missing:
+        failures.append(f"{name}: missing required fields {missing}")
+        return
+    scenario = entry["scenario"]
+    missing = [f for f in REQUIRED_SCENARIO_FIELDS if f not in scenario]
+    if missing:
+        failures.append(f"{name}: scenario descriptor missing fields {missing}")
+        return
+    expected_scenario = EXPECTED_SCENARIOS.get(name)
+    if expected_scenario is None:
+        failures.append(f"{name}: no pinned scenario declaration for this entry")
+    else:
+        for field, want in expected_scenario.items():
+            got = scenario[field]
+            if got != want:
+                failures.append(
+                    f"{name}: scenario.{field} = {got!r} != pinned {want!r} — "
+                    "the bench's declared scenario changed"
+                )
+    if entry["act_skips"] <= 0:
+        failures.append(
+            f"{name}: act_skips == 0 — the pipeline fell off the "
+            "wake-hint fast path (dense stepping)"
+        )
+    budget = ROUND_BUDGETS.get(name)
+    if budget is None:
+        failures.append(f"{name}: no pinned round budget for this entry")
+    elif entry["rounds"] > budget:
+        failures.append(
+            f"{name}: {entry['rounds']} rounds exceeds the pinned "
+            f"budget {budget}"
+        )
+    expected = EXPECTED_ROUNDS.get(name)
+    if expected is not None and entry["rounds"] != expected:
+        failures.append(
+            f"{name}: {entry['rounds']} rounds != pinned {expected} — "
+            "the executed round sequence changed; update the pin only "
+            "for an intentional algorithm change"
+        )
+    if entry["rounds"] > entry["cap"]:
+        failures.append(
+            f"{name}: {entry['rounds']} rounds exceeds the worst-case "
+            f"cap {entry['cap']}"
+        )
+
+
 def main() -> int:
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pipeline.json"
     with open(path, encoding="utf-8") as fh:
         data = json.load(fh)
 
     failures = []
+    schema = data.get("schema")
+    if schema != EXPECTED_SCHEMA:
+        failures.append(f"schema {schema} != expected {EXPECTED_SCHEMA}")
+
     seen = set()
-    for entry in data["entries"]:
-        name = entry["name"]
-        seen.add(name)
-        if entry["act_skips"] <= 0:
-            failures.append(
-                f"{name}: act_skips == 0 — the pipeline fell off the "
-                "wake-hint fast path (dense stepping)"
-            )
-        budget = ROUND_BUDGETS.get(name)
-        if budget is None:
-            failures.append(f"{name}: no pinned round budget for this entry")
-        elif entry["rounds"] > budget:
-            failures.append(
-                f"{name}: {entry['rounds']} rounds exceeds the pinned "
-                f"budget {budget}"
-            )
-        expected = EXPECTED_ROUNDS.get(name)
-        if expected is not None and entry["rounds"] != expected:
-            failures.append(
-                f"{name}: {entry['rounds']} rounds != pinned {expected} — "
-                "the executed round sequence changed; update the pin only "
-                "for an intentional algorithm change"
-            )
-        if entry["rounds"] > entry["cap"]:
-            failures.append(
-                f"{name}: {entry['rounds']} rounds exceeds the worst-case "
-                f"cap {entry['cap']}"
-            )
+    for entry in data.get("entries", []):
+        seen.add(entry.get("name"))
+        check_entry(entry, failures)
 
     missing = set(ROUND_BUDGETS) - seen
     if missing:

@@ -6,9 +6,8 @@ use broadcast::adaptive::Pacing;
 use broadcast::decay::{DecayBroadcast, DecayMsg, MmvDecayBroadcast};
 use broadcast::multi_message::{
     broadcast_known, broadcast_unknown, broadcast_unknown_with, BatchMode, GhkMultiNode,
-    GhkMultiPlan, MultiRunOpts,
+    GhkMultiPlan, KnownRunOpts, MultiRunOpts,
 };
-use broadcast::schedule::{EmptyBehavior, SlowKey};
 use broadcast::single_message::{
     broadcast_single, broadcast_single_in_mode, broadcast_single_with,
 };
@@ -298,9 +297,7 @@ fn known_topology_deterministic() {
             &msgs,
             &params,
             seed,
-            SlowKey::VirtualDistance,
-            EmptyBehavior::Silent,
-            500_000,
+            KnownRunOpts::new().with_max_rounds(500_000),
         )
         .completion_round
     };

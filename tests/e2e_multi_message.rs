@@ -1,10 +1,11 @@
 //! End-to-end Theorems 1.2/1.3: every node decodes the exact payloads,
 //! swept over a seed × topology matrix (failures name the exact cell).
+//! Scheduled runs go through the `Scenario` facade; the payload-inspection
+//! test drives the fixed-plan node through the simulator directly.
 
-use broadcast::multi_message::{broadcast_unknown, BatchMode, GhkMultiNode, GhkMultiPlan};
-use broadcast::schedule::{EmptyBehavior, SlowKey};
-use broadcast::Params;
-use radio_sim::graph::{generators, Graph, Traversal};
+use broadcast::multi_message::{BatchMode, GhkMultiNode, GhkMultiPlan};
+use broadcast::{EmptyBehavior, Params, Scenario, SlowKey, TopologySpec, Workload};
+use radio_sim::graph::{generators, Traversal};
 use radio_sim::{CollisionMode, NodeId, Simulator};
 use rlnc::gf2::BitVec;
 
@@ -12,26 +13,31 @@ fn payloads(k: usize) -> Vec<BitVec> {
     (0..k as u64).map(|i| BitVec::from_u64(i * 11 + 3, 24)).collect()
 }
 
-fn known_topologies() -> Vec<(&'static str, Graph)> {
-    vec![("grid", generators::grid(5, 5)), ("cluster_chain", generators::cluster_chain(4, 5))]
+fn known_topologies() -> Vec<(&'static str, TopologySpec)> {
+    vec![
+        ("grid", TopologySpec::Grid { w: 5, h: 5 }),
+        ("cluster_chain", TopologySpec::ClusterChain { clusters: 4, size: 5 }),
+    ]
 }
 
 #[test]
 fn known_topology_decodes_exact_payloads() {
-    for (name, g) in known_topologies() {
-        let params = Params::scaled(g.node_count());
-        for seed in 0..3u64 {
-            let out = broadcast::multi_message::broadcast_known(
-                &g,
-                NodeId::new(0),
-                &payloads(6),
-                &params,
-                seed,
-                SlowKey::VirtualDistance,
-                EmptyBehavior::Silent,
-                1_000_000,
+    for (name, spec) in known_topologies() {
+        let matrix = Scenario::new(
+            spec,
+            Workload::MultiKnown {
+                messages: payloads(6),
+                slow_key: SlowKey::VirtualDistance,
+                empty: EmptyBehavior::Silent,
+            },
+        )
+        .seeds(0..3);
+        for run in &matrix.runs {
+            assert!(
+                run.outcome.completion_round.is_some(),
+                "topology {name} seed {}: timed out",
+                run.seed
             );
-            assert!(out.completion_round.is_some(), "topology {name} seed {seed}: timed out");
         }
     }
 }
@@ -60,37 +66,27 @@ fn unknown_topology_decodes_exact_payloads() {
 
 #[test]
 fn unknown_topology_with_generations_decodes() {
-    let g = generators::grid(4, 4);
-    let params = Params::scaled(16);
-    for seed in 0..3u64 {
-        let out = broadcast_unknown(
-            &g,
-            NodeId::new(0),
-            &payloads(6),
-            &params,
-            seed,
-            BatchMode::Generations(2),
-        );
-        assert!(out.completion_round.is_some(), "seed {seed}: generations run timed out");
-    }
+    let matrix = Scenario::new(
+        TopologySpec::Grid { w: 4, h: 4 },
+        Workload::MultiUnknown { messages: payloads(6), batch: BatchMode::Generations(2) },
+    )
+    .seeds(0..3);
+    assert!(matrix.all_completed(), "generations runs timed out on seeds {:?}", matrix.failures());
 }
 
 #[test]
 fn mmv_noise_mode_still_completes() {
     // Lemma 3.3 stress: empty-decoder nodes transmit noise.
-    let g = generators::cluster_chain(4, 4);
-    let params = Params::scaled(16);
+    let scenario = Scenario::new(
+        TopologySpec::ClusterChain { clusters: 4, size: 4 },
+        Workload::MultiKnown {
+            messages: payloads(4),
+            slow_key: SlowKey::VirtualDistance,
+            empty: EmptyBehavior::Noise,
+        },
+    );
     for seed in [4u64, 7] {
-        let out = broadcast::multi_message::broadcast_known(
-            &g,
-            NodeId::new(0),
-            &payloads(4),
-            &params,
-            seed,
-            SlowKey::VirtualDistance,
-            EmptyBehavior::Noise,
-            1_000_000,
-        );
+        let out = scenario.clone().seed(seed).run();
         assert!(out.completion_round.is_some(), "seed {seed}: noise-mode run timed out");
     }
 }

@@ -1,37 +1,34 @@
-//! End-to-end Theorem 1.1 runs across graph families and seeds.
+//! End-to-end Theorem 1.1 runs across graph families and seeds, declared
+//! through the `Scenario` facade (topology specs instead of pre-built
+//! graphs).
 
-use broadcast::single_message::broadcast_single;
-use broadcast::Params;
-use radio_sim::graph::{generators, Graph};
-use radio_sim::rng::stream_rng;
+use broadcast::{Scenario, TopologySpec, Workload};
 use radio_sim::NodeId;
 
 /// The seed × topology matrix every e2e assertion sweeps: a failure names
 /// the exact (family, seed) cell instead of hiding behind a single seed.
-fn families() -> Vec<(&'static str, Graph)> {
-    let mut rng = stream_rng(1, 0);
+fn families() -> Vec<(&'static str, TopologySpec)> {
     vec![
-        ("path", generators::path(30)),
-        ("grid", generators::grid(6, 5)),
-        ("cluster_chain", generators::cluster_chain(5, 6)),
-        ("binary_tree", generators::binary_tree(31)),
-        ("gnp", generators::gnp_connected(48, 0.09, &mut rng)),
-        ("unit_disk", generators::unit_disk(60, 0.22, &mut rng)),
+        ("path", TopologySpec::Path { n: 30 }),
+        ("grid", TopologySpec::Grid { w: 6, h: 5 }),
+        ("cluster_chain", TopologySpec::ClusterChain { clusters: 5, size: 6 }),
+        ("binary_tree", TopologySpec::BinaryTree { n: 31 }),
+        ("gnp", TopologySpec::Gnp { n: 48, p: 0.09, graph_seed: 1 }),
+        ("unit_disk", TopologySpec::UnitDisk { n: 60, radius: 0.22, graph_seed: 1 }),
     ]
 }
 
 #[test]
 fn completes_across_families_and_seeds() {
-    for (name, g) in families() {
-        let params = Params::scaled(g.node_count());
-        for seed in 0..4u64 {
-            let out = broadcast_single(&g, NodeId::new(0), 0xABCD, &params, seed);
+    for (name, spec) in families() {
+        let matrix = Scenario::new(spec, Workload::Single { payload: 0xABCD }).seeds(0..4);
+        for run in &matrix.runs {
             assert!(
-                out.completion_round.is_some(),
-                "family {name} seed {seed}: no completion within the cap of {} rounds \
-                 (phases {:?})",
-                out.plan.total_rounds(),
-                out.phases
+                run.outcome.completion_round.is_some(),
+                "family {name} seed {}: no completion within the cap of {} rounds (phases {:?})",
+                run.seed,
+                run.outcome.cap,
+                run.outcome.phases
             );
         }
     }
@@ -39,29 +36,30 @@ fn completes_across_families_and_seeds() {
 
 #[test]
 fn source_can_be_any_node() {
-    let g = generators::grid(5, 5);
-    let params = Params::scaled(25);
     for source in [0usize, 12, 24] {
-        for seed in 0..3u64 {
-            let out = broadcast_single(&g, NodeId::new(source), 7, &params, seed);
-            assert!(out.completion_round.is_some(), "source {source} seed {seed}");
-        }
+        let matrix =
+            Scenario::new(TopologySpec::Grid { w: 5, h: 5 }, Workload::Single { payload: 7 })
+                .source(NodeId::new(source))
+                .seeds(0..3);
+        assert!(matrix.all_completed(), "source {source}: failing seeds {:?}", matrix.failures());
     }
 }
 
 #[test]
 fn completion_is_within_the_plan_budget() {
     // The worst-case cap must hold over the whole matrix, not one lucky seed.
-    for (name, g) in families() {
-        let params = Params::scaled(g.node_count());
-        for seed in 0..4u64 {
-            let out = broadcast_single(&g, NodeId::new(0), 1, &params, seed);
-            let done =
-                out.completion_round.unwrap_or_else(|| panic!("{name} seed {seed}: no completion"));
+    for (name, spec) in families() {
+        let matrix = Scenario::new(spec, Workload::Single { payload: 1 }).seeds(0..4);
+        for run in &matrix.runs {
+            let done = run
+                .outcome
+                .completion_round
+                .unwrap_or_else(|| panic!("{name} seed {}: no completion", run.seed));
             assert!(
-                done <= out.plan.total_rounds(),
-                "family {name} seed {seed}: completion {done} exceeds cap {}",
-                out.plan.total_rounds()
+                done <= run.outcome.cap,
+                "family {name} seed {}: completion {done} exceeds cap {}",
+                run.seed,
+                run.outcome.cap
             );
         }
     }

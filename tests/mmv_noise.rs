@@ -1,35 +1,21 @@
 //! Lemma 3.2 / 3.3: dissemination survives worst-case noise senders.
+//! Both stresses are declared through the `Scenario` facade (the MMV-Decay
+//! baseline workload and the noise-mode Theorem 1.2 workload).
 
-use broadcast::decay::MmvDecayBroadcast;
-use broadcast::multi_message::broadcast_known;
-use broadcast::schedule::{EmptyBehavior, SlowKey};
-use broadcast::Params;
-use radio_sim::graph::{generators, Traversal};
-use radio_sim::{CollisionMode, NodeId, Simulator};
+use broadcast::{Algo, EmptyBehavior, Scenario, SlowKey, TopologySpec, Workload};
 use rlnc::gf2::BitVec;
 
 #[test]
 fn layered_decay_with_noise_completes_and_stays_same_shape() {
-    let g = generators::cluster_chain(6, 5);
-    let layering = g.bfs(NodeId::new(0));
-    let params = Params::scaled(g.node_count());
-    let levels: Vec<u32> = g.node_ids().map(|v| layering.level(v)).collect();
+    let spec = TopologySpec::ClusterChain { clusters: 6, size: 5 };
     let mut totals = [0u64, 0u64];
     for (i, noise) in [false, true].into_iter().enumerate() {
-        for seed in 0..3u64 {
-            let mut sim = Simulator::new(g.clone(), CollisionMode::NoDetection, seed, |id| {
-                MmvDecayBroadcast::new(
-                    &params,
-                    levels[id.index()],
-                    noise,
-                    (id.index() == 0).then_some(1),
-                )
-            });
-            let done = sim
-                .run_until(2_000_000, |ns| ns.iter().all(MmvDecayBroadcast::is_informed))
-                .expect("completes");
-            totals[i] += done;
-        }
+        let matrix =
+            Scenario::new(spec.clone(), Workload::Baseline(Algo::MmvDecay { payload: 1, noise }))
+                .round_cap(2_000_000)
+                .seeds(0..3);
+        assert!(matrix.all_completed(), "noise={noise} failed on {:?}", matrix.failures());
+        totals[i] += matrix.runs.iter().map(|r| r.outcome.completion_round.unwrap()).sum::<u64>();
     }
     // Noise may slow things down by a constant factor, never unboundedly.
     assert!(totals[1] < totals[0] * 8, "noise blew up: {totals:?}");
@@ -37,18 +23,17 @@ fn layered_decay_with_noise_completes_and_stays_same_shape() {
 
 #[test]
 fn mmv_schedule_with_noise_senders_completes() {
-    let g = generators::grid(5, 5);
-    let params = Params::scaled(25);
     let msgs: Vec<BitVec> = (0..4u64).map(|i| BitVec::from_u64(i + 1, 16)).collect();
-    let out = broadcast_known(
-        &g,
-        NodeId::new(0),
-        &msgs,
-        &params,
-        5,
-        SlowKey::VirtualDistance,
-        EmptyBehavior::Noise,
-        2_000_000,
-    );
+    let out = Scenario::new(
+        TopologySpec::Grid { w: 5, h: 5 },
+        Workload::MultiKnown {
+            messages: msgs,
+            slow_key: SlowKey::VirtualDistance,
+            empty: EmptyBehavior::Noise,
+        },
+    )
+    .seed(5)
+    .round_cap(2_000_000)
+    .run();
     assert!(out.completion_round.is_some());
 }

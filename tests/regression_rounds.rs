@@ -1,31 +1,29 @@
-//! Round-count regression pins for the adaptive Theorem 1.1 pipeline.
+//! Round-count regression pins for the adaptive pipelines, declared through
+//! the `Scenario` facade.
 //!
-//! Each scenario pins `broadcast_single` to an explicit round *budget*
-//! (roughly 2x the worst completion round observed over 10 master seeds at
-//! the time the budget was set), so a future change that silently degrades
-//! the adaptive pipeline's constants fails tier-1 instead of passing. The
-//! budgets are orders of magnitude below the worst-case caps — that gap *is*
-//! the adaptivity win — and every run is also asserted against the cap
-//! itself, `Ghk1Plan::total_rounds()`, which the paper guarantees.
+//! Each scenario pins its workload to an explicit round *budget* (roughly 2x
+//! the worst completion round observed over 10 master seeds at the time the
+//! budget was set), so a future change that silently degrades the adaptive
+//! pipeline's constants fails tier-1 instead of passing. The budgets are
+//! orders of magnitude below the worst-case caps — that gap *is* the
+//! adaptivity win — and every run is also asserted against the cap itself
+//! (`Outcome::cap`, the plan's `total_rounds()`), which the paper
+//! guarantees. Facade runs are bit-identical to the legacy free functions
+//! (`tests/e2e_scenario.rs`), so these pins cover both entry points at once.
 
-use broadcast::decay::{DecayBroadcast, DecayMsg};
-use broadcast::multi_message::{broadcast_unknown, BatchMode};
-use broadcast::single_message::{broadcast_single, Ghk1Outcome};
-use broadcast::Params;
-use radio_sim::graph::generators;
-use radio_sim::rng::stream_rng;
-use radio_sim::{CollisionMode, DoneCheck, Graph, NodeId, Simulator};
+use broadcast::multi_message::BatchMode;
+use broadcast::{Algo, Scenario, TopologySpec, Workload};
 use rlnc::gf2::BitVec;
 
-/// Runs the pipeline and enforces both the regression budget and the
-/// worst-case cap, reporting the failing seed.
-fn assert_within_budget(name: &str, g: &Graph, seeds: std::ops::Range<u64>, budget: u64) {
-    let params = Params::scaled(g.node_count());
-    for seed in seeds {
-        let out: Ghk1Outcome = broadcast_single(g, NodeId::new(0), 0xBEEF, &params, seed);
-        let done = out.completion_round.unwrap_or_else(|| {
-            panic!("{name} seed {seed}: no completion within cap {}", out.plan.total_rounds())
-        });
+/// Runs the Theorem 1.1 pipeline over the seed range and enforces both the
+/// regression budget and the worst-case cap, reporting the failing seed.
+fn assert_within_budget(name: &str, spec: TopologySpec, seeds: std::ops::Range<u64>, budget: u64) {
+    let matrix = Scenario::new(spec, Workload::Single { payload: 0xBEEF }).seeds(seeds);
+    for run in &matrix.runs {
+        let (seed, out) = (run.seed, &run.outcome);
+        let done = out
+            .completion_round
+            .unwrap_or_else(|| panic!("{name} seed {seed}: no completion within cap {}", out.cap));
         assert!(
             done <= budget,
             "{name} seed {seed}: {done} rounds exceeds the regression budget {budget} \
@@ -33,9 +31,9 @@ fn assert_within_budget(name: &str, g: &Graph, seeds: std::ops::Range<u64>, budg
             out.phases
         );
         assert!(
-            done <= out.plan.total_rounds(),
+            done <= out.cap,
             "{name} seed {seed}: {done} rounds exceeds the worst-case cap {}",
-            out.plan.total_rounds()
+            out.cap
         );
         assert!(
             out.stats.act_skips > 0,
@@ -51,21 +49,44 @@ fn corridor_mesh_budget() {
     // The emergency-alert scenario: 20 blocks of 6 radios, diameter 39.
     // Fixed windows used to need ~5.8M rounds here; adaptive worst observed
     // over seeds 0..10 was 1073.
-    assert_within_budget("corridor", &generators::cluster_chain(20, 6), 0..5, 2_200);
+    assert_within_budget(
+        "corridor",
+        TopologySpec::ClusterChain { clusters: 20, size: 6 },
+        0..5,
+        2_200,
+    );
 }
 
 #[test]
 fn geometric_deployment_budget() {
     // A dense unit-disk deployment (n = 80, D = 8). Worst observed: 2474.
-    let mut rng = stream_rng(2024, 0);
-    let g = generators::unit_disk(80, 0.18, &mut rng);
-    assert_within_budget("unit_disk", &g, 0..5, 4_800);
+    assert_within_budget(
+        "unit_disk",
+        TopologySpec::UnitDisk { n: 80, radius: 0.18, graph_seed: 2024 },
+        0..5,
+        4_800,
+    );
 }
 
 #[test]
 fn cluster_chain_budget() {
     // A small cluster chain (n = 30, D = 11). Worst observed: 515.
-    assert_within_budget("cluster_chain", &generators::cluster_chain(6, 5), 0..5, 1_100);
+    assert_within_budget(
+        "cluster_chain",
+        TopologySpec::ClusterChain { clusters: 6, size: 5 },
+        0..5,
+        1_100,
+    );
+}
+
+/// The completion round of one BGI Decay run (the baseline all pins are
+/// phrased against), through the same facade.
+fn decay_rounds(spec: TopologySpec, seed: u64) -> u64 {
+    Scenario::new(spec, Workload::Baseline(Algo::Decay { payload: 1 }))
+        .seed(seed)
+        .run()
+        .completion_round
+        .expect("Decay completes")
 }
 
 #[test]
@@ -73,13 +94,14 @@ fn corridor_ghk_within_10x_of_decay() {
     // The headline acceptance bound: on the corridor mesh, collision
     // detection plus the adaptive pipeline must land within a small constant
     // factor of the Decay baseline (it used to be ~40,000x slower).
-    let g = generators::cluster_chain(20, 6);
-    let params = Params::scaled(g.node_count());
+    let spec = TopologySpec::ClusterChain { clusters: 20, size: 6 };
     for seed in 0..3u64 {
-        let ghk = broadcast_single(&g, NodeId::new(0), 0xA1E57, &params, seed)
+        let ghk = Scenario::new(spec.clone(), Workload::Single { payload: 0xA1E57 })
+            .seed(seed)
+            .run()
             .completion_round
             .expect("GHK completes");
-        let decay = decay_rounds(&g, &params, seed);
+        let decay = decay_rounds(spec.clone(), seed);
         assert!(
             ghk <= decay * 10,
             "seed {seed}: GHK-CD took {ghk} rounds vs Decay's {decay} (> 10x)"
@@ -87,37 +109,26 @@ fn corridor_ghk_within_10x_of_decay() {
     }
 }
 
-/// The completion round of one BGI Decay run (the baseline all pins are
-/// phrased against).
-fn decay_rounds(g: &Graph, params: &Params, seed: u64) -> u64 {
-    let mut sim = Simulator::new(g.clone(), CollisionMode::NoDetection, seed, |id| {
-        DecayBroadcast::new(params, (id.index() == 0).then_some(DecayMsg(1)))
-    });
-    sim.run_until_with(5_000_000, DoneCheck::OnDelivery, |ns| {
-        ns.iter().all(DecayBroadcast::is_informed)
-    })
-    .expect("Decay completes")
-}
-
 /// Pins the adaptive Theorem 1.3 pipeline to a round budget (≈2x the worst
 /// completion observed over 8 seeds when the budget was set), to a multiple
 /// of the single-message Decay baseline, and to the plan's worst-case cap.
 fn assert_multi_within_budget(
     name: &str,
-    g: &Graph,
+    spec: TopologySpec,
     k: usize,
-    mode: BatchMode,
+    batch: BatchMode,
     seeds: std::ops::Range<u64>,
     budget: u64,
     decay_multiple: u64,
 ) {
-    let params = Params::scaled(g.node_count());
     let msgs: Vec<BitVec> = (0..k as u64).map(|i| BitVec::from_u64(0xBEE0 + i, 32)).collect();
-    for seed in seeds {
-        let out = broadcast_unknown(g, NodeId::new(0), &msgs, &params, seed, mode);
-        let done = out.completion_round.unwrap_or_else(|| {
-            panic!("{name} seed {seed}: no completion within cap {}", out.rounds_budget)
-        });
+    let matrix =
+        Scenario::new(spec.clone(), Workload::MultiUnknown { messages: msgs, batch }).seeds(seeds);
+    for run in &matrix.runs {
+        let (seed, out) = (run.seed, &run.outcome);
+        let done = out
+            .completion_round
+            .unwrap_or_else(|| panic!("{name} seed {seed}: no completion within cap {}", out.cap));
         assert!(
             done <= budget,
             "{name} seed {seed}: {done} rounds exceeds the regression budget {budget} \
@@ -125,9 +136,9 @@ fn assert_multi_within_budget(
             out.phases
         );
         assert!(
-            done <= out.rounds_budget,
+            done <= out.cap,
             "{name} seed {seed}: {done} rounds exceeds the worst-case cap {}",
-            out.rounds_budget
+            out.cap
         );
         assert!(
             out.stats.act_skips > 0,
@@ -135,7 +146,7 @@ fn assert_multi_within_budget(
              (wake-hint fast path disengaged; stats: {:?})",
             out.stats
         );
-        let decay = decay_rounds(g, &params, seed);
+        let decay = decay_rounds(spec.clone(), seed);
         assert!(
             done <= decay * decay_multiple,
             "{name} seed {seed}: {done} rounds vs Decay's {decay} (> {decay_multiple}x)"
@@ -151,7 +162,7 @@ fn telemetry_backhaul_multi_budget() {
     // seeds 0..8 was 3569.
     assert_multi_within_budget(
         "telemetry",
-        &generators::cluster_chain(6, 6),
+        TopologySpec::ClusterChain { clusters: 6, size: 6 },
         8,
         BatchMode::FullK,
         0..3,
@@ -167,7 +178,7 @@ fn firmware_grid_multi_budget() {
     // was 6311.
     assert_multi_within_budget(
         "firmware_grid",
-        &generators::grid(6, 6),
+        TopologySpec::Grid { w: 6, h: 6 },
         8,
         BatchMode::Generations(4),
         0..3,
@@ -180,7 +191,7 @@ fn firmware_grid_multi_budget() {
 fn adaptive_caps_stay_polylog_above_diameter() {
     // The cap itself must keep the O(D + polylog) shape: doubling D at fixed
     // n must grow the cap by ~O(D), not multiply it.
-    let params = Params::scaled(128);
+    let params = broadcast::Params::scaled(128);
     let short = broadcast::single_message::Ghk1Plan::new(&params, 20).total_rounds();
     let long = broadcast::single_message::Ghk1Plan::new(&params, 40).total_rounds();
     assert!(long <= short * 3, "cap explodes with D: {short} -> {long}");
