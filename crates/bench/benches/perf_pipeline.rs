@@ -16,7 +16,7 @@ use broadcast::decay::{DecayBroadcast, DecayMsg};
 use broadcast::{BatchMode, Params, Scenario, TopologySpec, Workload};
 use radio_sim::graph::generators;
 use radio_sim::trace::RunStats;
-use radio_sim::{CollisionMode, DenseWrap, Simulator};
+use radio_sim::{CollisionMode, DenseWrap, FaultPlan, Simulator};
 use rlnc::gf2::BitVec;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -27,6 +27,7 @@ struct Entry {
     topology: String,
     workload: &'static str,
     seed: u64,
+    faults: String,
     rounds: u64,
     cap: u64,
     wall_ms: f64,
@@ -49,6 +50,7 @@ fn measure(name: &'static str, scenario: Scenario) -> Entry {
         topology: scenario.topology().label(),
         workload: scenario.workload().kind(),
         seed: scenario.master_seed(),
+        faults: scenario.fault_plan().label(),
         rounds: out.completion_round.expect("pipeline completes"),
         cap: out.cap,
         wall_ms: t.elapsed().as_secs_f64() * 1e3,
@@ -89,14 +91,17 @@ fn json_entry(out: &mut String, e: &Entry) {
     let _ = write!(
         out,
         "    {{\"name\": \"{}\", \
-         \"scenario\": {{\"topology\": \"{}\", \"workload\": \"{}\", \"seed\": {}}}, \
+         \"scenario\": {{\"topology\": \"{}\", \"workload\": \"{}\", \"seed\": {}, \
+         \"faults\": \"{}\"}}, \
          \"rounds\": {}, \"cap\": {}, \"wall_ms\": {:.2}, \
          \"transmissions\": {}, \"deliveries\": {}, \"observe_skips\": {}, \
-         \"act_skips\": {}, \"idle_fastforward\": {}}}",
+         \"act_skips\": {}, \"idle_fastforward\": {}, \
+         \"erased\": {}, \"jammed\": {}, \"churn_events\": {}}}",
         e.name,
         e.topology,
         e.workload,
         e.seed,
+        e.faults,
         e.rounds,
         e.cap,
         e.wall_ms,
@@ -105,6 +110,9 @@ fn json_entry(out: &mut String, e: &Entry) {
         e.stats.observe_skips,
         e.stats.act_skips,
         e.stats.idle_fastforward,
+        e.stats.erased,
+        e.stats.jammed,
+        e.stats.churn_events,
     );
 }
 
@@ -146,6 +154,19 @@ fn main() {
             )
             .seed(3),
         ),
+        // The telemetry backhaul over a lossy channel (5% packet erasure),
+        // with the ring-handoff FEC repair knob engaged — the adversarial
+        // entry whose fault counters schema 3 requires.
+        measure(
+            "multi_lossy_telemetry",
+            Scenario::new(
+                TopologySpec::ClusterChain { clusters: 6, size: 6 },
+                Workload::MultiUnknown { messages: payloads(8), batch: BatchMode::FullK },
+            )
+            .seed(11)
+            .faults(FaultPlan::none().with_erasure(0.05))
+            .fec_repair(2),
+        ),
     ];
 
     let (n, rounds) = (1_000_000, 300);
@@ -154,7 +175,7 @@ fn main() {
 
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"generated_by\": \"cargo bench --bench perf_pipeline\",");
-    let _ = writeln!(out, "  \"schema\": 2,");
+    let _ = writeln!(out, "  \"schema\": 3,");
     let _ = writeln!(out, "  \"entries\": [");
     for (i, e) in entries.iter().enumerate() {
         json_entry(&mut out, e);

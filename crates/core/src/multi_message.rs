@@ -58,7 +58,8 @@ use crate::virtual_labels::{VirtualLabelNode, VlMsg, VlSchedule};
 use radio_sim::model::PacketBits;
 use radio_sim::trace::{RoundStats, RunStats};
 use radio_sim::{
-    Action, CollisionMode, DoneCheck, Graph, NodeId, Observation, Protocol, Simulator, Wake,
+    Action, CollisionMode, DoneCheck, FaultPlan, Graph, NodeId, Observation, Protocol, Simulator,
+    Wake,
 };
 use rand::rngs::SmallRng;
 use rlnc::gf2::BitVec;
@@ -192,6 +193,30 @@ pub fn broadcast_known(
     seed: u64,
     opts: KnownRunOpts,
 ) -> MultiOutcome {
+    broadcast_known_faulted(graph, source, messages, params, seed, opts, &FaultPlan::none())
+}
+
+/// [`broadcast_known`] under a seeded adversarial
+/// [`FaultPlan`] (see [`radio_sim::engine::faults`]).
+///
+/// With [`FaultPlan::none`](radio_sim::FaultPlan::none) the run is
+/// bit-identical to [`broadcast_known`]. The GST and virtual distances are
+/// built centrally from the *initial* topology (the shared-knowledge model
+/// fixes them before the adversary acts); churn and mobility then degrade the
+/// live channel against that fixed schedule.
+///
+/// # Panics
+///
+/// Panics if `messages` is empty or the graph is empty.
+pub fn broadcast_known_faulted(
+    graph: &Graph,
+    source: NodeId,
+    messages: &[BitVec],
+    params: &Params,
+    seed: u64,
+    opts: KnownRunOpts,
+    faults: &FaultPlan,
+) -> MultiOutcome {
     assert!(!messages.is_empty(), "need at least one message");
     assert!(graph.node_count() > 0, "graph must be non-empty");
     let k = messages.len();
@@ -205,15 +230,16 @@ pub fn broadcast_known(
     );
     let vd = gst::VirtualDistances::compute(graph, &tree);
     let cfg = ScheduleConfig { log_n: params.log_n, slow_key: opts.slow_key, empty: opts.empty };
-    let mut sim = Simulator::new(graph.clone(), opts.mode, seed, |id| {
-        let node =
-            MmvScheduleNode::new(cfg, SchedLabels::from_gst(&tree, &vd, id), k, payload_bits);
-        if id == source {
-            node.with_messages(messages)
-        } else {
-            node
-        }
-    });
+    let mut sim =
+        Simulator::new_with_faults(graph.clone(), opts.mode, seed, faults.clone(), |id| {
+            let node =
+                MmvScheduleNode::new(cfg, SchedLabels::from_gst(&tree, &vd, id), k, payload_bits);
+            if id == source {
+                node.with_messages(messages)
+            } else {
+                node
+            }
+        });
     // Completion advances only when a node receives a packet, so the
     // delivery-gated check policy is exact and avoids the O(n) predicate
     // scan in silent rounds.
@@ -653,6 +679,9 @@ pub struct GhkMultiNode {
     /// Whether cursor mode emits real segment wake hints
     /// ([`Pacing::Segment`]) or `Wake::Now` every round ([`Pacing::PerStep`]).
     seg_hints: bool,
+    /// Handoff FEC repair aggressiveness (see [`MultiRunOpts::fec_repair`]);
+    /// `0` keeps the paper's full decay-cycle gate.
+    fec_repair: u32,
 }
 
 impl GhkMultiNode {
@@ -692,6 +721,7 @@ impl GhkMultiNode {
             drops: 0,
             decay: DecaySchedule::new(params.decay_phase_len()),
             seg_hints: true,
+            fec_repair: 0,
         }
     }
 
@@ -707,6 +737,14 @@ impl GhkMultiNode {
     /// Fixed-plan mode is unaffected.
     pub fn with_pacing(mut self, pacing: Pacing) -> Self {
         self.seg_hints = pacing == Pacing::Segment;
+        self
+    }
+
+    /// Sets the handoff FEC repair aggressiveness (see
+    /// [`MultiRunOpts::fec_repair`]). `0` (the default) is bit-identical to
+    /// the pre-knob pipeline.
+    pub fn with_fec_repair(mut self, fec_repair: u32) -> Self {
+        self.fec_repair = fec_repair;
         self
     }
 
@@ -1241,7 +1279,17 @@ impl GhkMultiNode {
                 let Some(decoded) = &self.batches[batch as usize].decoded else {
                     return Action::Listen;
                 };
-                if self.decay.fires(offset / 2, rng) {
+                // With `fec_repair > 0` the decay gate is compressed to its
+                // `r` highest-probability slots, so boundary nodes emit
+                // fountain repair packets far more often — lossy-channel
+                // redundancy. Exactly one `fires` draw either way, keeping
+                // the RNG stream aligned (`0` is bit-identical to the
+                // pre-knob pipeline).
+                let gate_slot = match self.fec_repair {
+                    0 => offset / 2,
+                    r => (offset / 2) % u64::from(r),
+                };
+                if self.decay.fires(gate_slot, rng) {
                     let src = Decoder::with_messages(decoded);
                     if let Some(packet) = src.random_combination(rng) {
                         return Action::Transmit(GhkMMsg::Fec { batch, packet });
@@ -1679,12 +1727,27 @@ pub struct MultiRunOpts {
     /// Driver pacing — [`Pacing::PerStep`] reproduces the batched run round
     /// for round with every node polled every round (equivalence suites).
     pub pacing: Pacing,
+    /// FEC repair aggressiveness at ring handoffs, for lossy channels.
+    ///
+    /// `0` (the default) keeps the paper's handoff emission: boundary nodes
+    /// gate fountain packets on the full decay cycle. A positive value `r`
+    /// compresses that gate to its `r` highest-probability slots, so boundary
+    /// nodes emit RLNC repair packets (the in-tree `rlnc` fountain) much more
+    /// often — redundancy that buys erasure protection at the dissemination
+    /// windows' hand-off seams. The number of RNG draws per slot is
+    /// unchanged, so `0` is bit-identical to the pre-knob pipeline.
+    pub fec_repair: u32,
 }
 
 impl MultiRunOpts {
     /// Theorem 1.3 defaults: collision detection on, segment pacing.
     pub fn new(batch: BatchMode) -> Self {
-        MultiRunOpts { batch, mode: CollisionMode::Detection, pacing: Pacing::Segment }
+        MultiRunOpts {
+            batch,
+            mode: CollisionMode::Detection,
+            pacing: Pacing::Segment,
+            fec_repair: 0,
+        }
     }
 
     /// Overrides the collision mode.
@@ -1696,6 +1759,13 @@ impl MultiRunOpts {
     /// Overrides the driver pacing.
     pub fn with_pacing(mut self, pacing: Pacing) -> Self {
         self.pacing = pacing;
+        self
+    }
+
+    /// Overrides the handoff FEC repair aggressiveness (see
+    /// [`MultiRunOpts::fec_repair`]).
+    pub fn with_fec_repair(mut self, fec_repair: u32) -> Self {
+        self.fec_repair = fec_repair;
         self
     }
 }
@@ -1713,6 +1783,30 @@ pub fn broadcast_unknown_with(
     seed: u64,
     opts: MultiRunOpts,
 ) -> MultiOutcome {
+    broadcast_unknown_faulted(graph, source, messages, params, seed, opts, &FaultPlan::none())
+}
+
+/// [`broadcast_unknown_with`] under a seeded adversarial
+/// [`FaultPlan`] (see [`radio_sim::engine::faults`]).
+///
+/// With [`FaultPlan::none`](radio_sim::FaultPlan::none) the run is
+/// bit-identical to [`broadcast_unknown_with`]. The diameter-derived plan is
+/// computed from the *initial* topology; pair lossy plans with
+/// [`MultiRunOpts::fec_repair`] to buy erasure protection at the ring
+/// handoffs.
+///
+/// # Panics
+///
+/// Panics if `messages` is empty or the graph is empty.
+pub fn broadcast_unknown_faulted(
+    graph: &Graph,
+    source: NodeId,
+    messages: &[BitVec],
+    params: &Params,
+    seed: u64,
+    opts: MultiRunOpts,
+    faults: &FaultPlan,
+) -> MultiOutcome {
     use radio_sim::graph::Traversal;
     assert!(!messages.is_empty(), "need at least one message");
     assert!(graph.node_count() > 0, "graph must be non-empty");
@@ -1720,7 +1814,7 @@ pub fn broadcast_unknown_with(
     let d = graph.bfs(source).max_level();
     let plan = GhkMultiPlan::new_adaptive(params, d.max(1), messages.len(), opts.batch);
     let step: MultiStepCell = Rc::new(Cell::new(MultiStep::Idle));
-    let sim = Simulator::new(graph.clone(), opts.mode, seed, |id| {
+    let sim = Simulator::new_with_faults(graph.clone(), opts.mode, seed, faults.clone(), |id| {
         GhkMultiNode::new(
             params,
             plan,
@@ -1730,6 +1824,7 @@ pub fn broadcast_unknown_with(
         )
         .with_cursor(Rc::clone(&step))
         .with_pacing(opts.pacing)
+        .with_fec_repair(opts.fec_repair)
     });
     MultiDriver {
         sim,

@@ -20,8 +20,8 @@
 //! | run any algorithm on a declared topology, compare apples to apples | [`Scenario`] (this module) |
 //! | sweep seeds and aggregate | [`Scenario::seeds`] → [`SeedMatrix`] |
 //! | Theorem 1.1 on a pre-built [`Graph`], typed [`Ghk1Outcome`](crate::single_message::Ghk1Outcome) | [`broadcast_single`](crate::single_message::broadcast_single) and friends |
-//! | Theorem 1.2 with explicit [`KnownRunOpts`] | [`broadcast_known`] |
-//! | Theorem 1.3 with explicit [`MultiRunOpts`] | [`broadcast_unknown_with`] |
+//! | Theorem 1.2 with explicit [`KnownRunOpts`] | [`broadcast_known`](crate::multi_message::broadcast_known) |
+//! | Theorem 1.3 with explicit [`MultiRunOpts`] | [`broadcast_unknown_with`](crate::multi_message::broadcast_unknown_with) |
 //! | drive a protocol round by round | [`radio_sim::Simulator`] directly |
 //!
 //! The free functions are the engines this facade drives; they stay public
@@ -47,16 +47,16 @@
 use crate::adaptive::Pacing;
 use crate::decay::{DecayBroadcast, DecayMsg, MmvDecayBroadcast};
 use crate::multi_message::{
-    broadcast_known, broadcast_unknown_with, BatchMode, GhkMultiPlan, KnownRunOpts,
+    broadcast_known_faulted, broadcast_unknown_faulted, BatchMode, GhkMultiPlan, KnownRunOpts,
     MultiPhaseRounds, MultiRunOpts,
 };
 use crate::params::Params;
 use crate::schedule::{EmptyBehavior, SchedAudit, SlowKey};
-use crate::single_message::{broadcast_single_with, Ghk1Plan, PhaseRounds};
+use crate::single_message::{broadcast_single_faulted, Ghk1Plan, PhaseRounds};
 use radio_sim::graph::{generators, Traversal};
 use radio_sim::rng::stream_rng;
 use radio_sim::trace::RunStats;
-use radio_sim::{CollisionMode, DoneCheck, Graph, NodeId, Simulator};
+use radio_sim::{CollisionMode, DoneCheck, FaultPlan, Graph, NodeId, Simulator};
 use rlnc::gf2::BitVec;
 
 /// Default hard cap for baseline workloads (the cap the hand-rolled Decay
@@ -451,6 +451,8 @@ pub struct Scenario {
     pacing: Pacing,
     seed: u64,
     round_cap: Option<u64>,
+    faults: FaultPlan,
+    fec_repair: u32,
 }
 
 impl Scenario {
@@ -468,6 +470,8 @@ impl Scenario {
             pacing: Pacing::Segment,
             seed: 0,
             round_cap: None,
+            faults: FaultPlan::none(),
+            fec_repair: 0,
         }
     }
 
@@ -515,6 +519,29 @@ impl Scenario {
         self
     }
 
+    /// Applies a seeded adversarial [`FaultPlan`] (packet erasure, jammers,
+    /// churn, mobility — see [`radio_sim::engine::faults`]) to every
+    /// workload of this scenario, including the baselines.
+    ///
+    /// Fault randomness comes from dedicated streams of the master seed, so
+    /// [`FaultPlan::none`] (the default) keeps every run bit-identical to
+    /// the fault-free facade, and [`Scenario::seeds`] sweeps stay
+    /// deterministic per seed.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the ring-handoff FEC repair aggressiveness of
+    /// [`Workload::MultiUnknown`] runs (see
+    /// [`MultiRunOpts::fec_repair`]) — optional
+    /// erasure protection for lossy fault plans. Other workloads ignore the
+    /// knob; `0` (the default) is bit-identical to the pre-knob pipeline.
+    pub fn fec_repair(mut self, fec_repair: u32) -> Self {
+        self.fec_repair = fec_repair;
+        self
+    }
+
     /// The topology spec.
     pub fn topology(&self) -> &TopologySpec {
         &self.topology
@@ -530,9 +557,22 @@ impl Scenario {
         self.seed
     }
 
-    /// `topology/workload`, the label under which sweeps report.
+    /// The configured fault plan ([`FaultPlan::none`] unless
+    /// [`Scenario::faults`] was called).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// `topology/workload`, the label under which sweeps report; scenarios
+    /// with a fault plan append `+<plan label>` (e.g.
+    /// `grid(6x6)/multi_unknown+erase(0.2)`), so fault-free labels are
+    /// byte-identical to what they were before the fault layer existed.
     pub fn label(&self) -> String {
-        format!("{}/{}", self.topology.label(), self.workload.kind())
+        if self.faults.is_none() {
+            format!("{}/{}", self.topology.label(), self.workload.kind())
+        } else {
+            format!("{}/{}+{}", self.topology.label(), self.workload.kind(), self.faults.label())
+        }
     }
 
     /// Builds the scenario's graph (what [`Scenario::run`] will run on).
@@ -585,7 +625,7 @@ impl Scenario {
         let mode = self.mode.unwrap_or_else(|| self.workload.default_mode());
         match &self.workload {
             Workload::Single { payload } => {
-                let out = broadcast_single_with(
+                let out = broadcast_single_faulted(
                     graph,
                     self.source,
                     *payload,
@@ -593,6 +633,7 @@ impl Scenario {
                     seed,
                     mode,
                     self.pacing,
+                    &self.faults,
                 );
                 Outcome {
                     completion_round: out.completion_round,
@@ -609,7 +650,15 @@ impl Scenario {
                 if let Some(cap) = self.round_cap {
                     opts = opts.with_max_rounds(cap);
                 }
-                let out = broadcast_known(graph, self.source, messages, &params, seed, opts);
+                let out = broadcast_known_faulted(
+                    graph,
+                    self.source,
+                    messages,
+                    &params,
+                    seed,
+                    opts,
+                    &self.faults,
+                );
                 Outcome {
                     completion_round: out.completion_round,
                     cap: out.rounds_budget,
@@ -620,8 +669,19 @@ impl Scenario {
                 }
             }
             Workload::MultiUnknown { messages, batch } => {
-                let opts = MultiRunOpts::new(*batch).with_mode(mode).with_pacing(self.pacing);
-                let out = broadcast_unknown_with(graph, self.source, messages, &params, seed, opts);
+                let opts = MultiRunOpts::new(*batch)
+                    .with_mode(mode)
+                    .with_pacing(self.pacing)
+                    .with_fec_repair(self.fec_repair);
+                let out = broadcast_unknown_faulted(
+                    graph,
+                    self.source,
+                    messages,
+                    &params,
+                    seed,
+                    opts,
+                    &self.faults,
+                );
                 // The engine derives the same plan internally; recompute it
                 // here (deterministic) so the typed detail carries the full
                 // ring/batch geometry, not just the cap. The cap check below
@@ -662,9 +722,13 @@ impl Scenario {
         let source = self.source;
         let (completion_round, stats) = match algo {
             Algo::Decay { payload } => {
-                let mut sim = Simulator::new(graph.clone(), mode, seed, |id| {
-                    DecayBroadcast::new(params, (id == source).then_some(DecayMsg(payload)))
-                });
+                let mut sim = Simulator::new_with_faults(
+                    graph.clone(),
+                    mode,
+                    seed,
+                    self.faults.clone(),
+                    |id| DecayBroadcast::new(params, (id == source).then_some(DecayMsg(payload))),
+                );
                 let done = sim.run_until_with(cap, DoneCheck::OnDelivery, |ns| {
                     ns.iter().all(DecayBroadcast::is_informed)
                 });
@@ -673,14 +737,20 @@ impl Scenario {
             Algo::MmvDecay { payload, noise } => {
                 let layering = graph.bfs(source);
                 let levels: Vec<u32> = graph.node_ids().map(|v| layering.level(v)).collect();
-                let mut sim = Simulator::new(graph.clone(), mode, seed, |id| {
-                    MmvDecayBroadcast::new(
-                        params,
-                        levels[id.index()],
-                        noise,
-                        (id == source).then_some(payload),
-                    )
-                });
+                let mut sim = Simulator::new_with_faults(
+                    graph.clone(),
+                    mode,
+                    seed,
+                    self.faults.clone(),
+                    |id| {
+                        MmvDecayBroadcast::new(
+                            params,
+                            levels[id.index()],
+                            noise,
+                            (id == source).then_some(payload),
+                        )
+                    },
+                );
                 let done = sim.run_until_with(cap, DoneCheck::OnDelivery, |ns| {
                     ns.iter().all(MmvDecayBroadcast::is_informed)
                 });
@@ -816,5 +886,53 @@ mod tests {
             },
         );
         assert_eq!(s.label(), "cluster_chain(20x6)/multi_unknown");
+    }
+
+    #[test]
+    fn faulted_labels_are_stable() {
+        let s = Scenario::new(TopologySpec::Grid { w: 6, h: 6 }, Workload::Single { payload: 1 })
+            .faults(FaultPlan::none().with_erasure(0.2).with_jammer(3, 2, 0));
+        assert_eq!(s.label(), "grid(6x6)/single+erase(0.2)+jam(n3,p2+0)");
+        // A plan that is set but empty must not perturb the label.
+        let s = Scenario::new(TopologySpec::Path { n: 4 }, Workload::Single { payload: 1 })
+            .faults(FaultPlan::none());
+        assert_eq!(s.label(), "path(4)/single");
+    }
+
+    #[test]
+    fn none_faults_are_bit_identical_through_the_facade() {
+        let clean = Scenario::new(
+            TopologySpec::ClusterChain { clusters: 3, size: 4 },
+            Workload::Single { payload: 0xF00D },
+        )
+        .seed(5)
+        .run();
+        let faulted = Scenario::new(
+            TopologySpec::ClusterChain { clusters: 3, size: 4 },
+            Workload::Single { payload: 0xF00D },
+        )
+        .seed(5)
+        .faults(FaultPlan::none())
+        .run();
+        assert_eq!(clean.completion_round, faulted.completion_round);
+        assert_eq!(clean.stats, faulted.stats);
+    }
+
+    #[test]
+    fn faulted_baseline_degrades_but_stays_deterministic() {
+        let run = || {
+            Scenario::new(
+                TopologySpec::ClusterChain { clusters: 3, size: 4 },
+                Workload::Baseline(Algo::Decay { payload: 5 }),
+            )
+            .seed(1)
+            .round_cap(200_000)
+            .faults(FaultPlan::none().with_erasure(0.3))
+            .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.completion_round, b.completion_round);
+        assert_eq!(a.stats, b.stats);
+        assert!(a.stats.erased > 0, "erasure never fired: {:?}", a.stats);
     }
 }

@@ -70,7 +70,9 @@ use crate::schedule::{
 };
 use radio_sim::model::PacketBits;
 use radio_sim::trace::{RoundStats, RunStats};
-use radio_sim::{Action, CollisionMode, Graph, NodeId, Observation, Protocol, Simulator, Wake};
+use radio_sim::{
+    Action, CollisionMode, FaultPlan, Graph, NodeId, Observation, Protocol, Simulator, Wake,
+};
 use rand::rngs::SmallRng;
 use rlnc::gf2::BitVec;
 use std::cell::Cell;
@@ -975,12 +977,40 @@ pub fn broadcast_single_with(
     mode: CollisionMode,
     pacing: Pacing,
 ) -> Ghk1Outcome {
+    broadcast_single_faulted(graph, source, payload, params, seed, mode, pacing, &FaultPlan::none())
+}
+
+/// [`broadcast_single_with`] under a seeded adversarial
+/// [`FaultPlan`] (see [`radio_sim::engine::faults`]).
+///
+/// With [`FaultPlan::none`](radio_sim::FaultPlan::none) the run — trace,
+/// statistics and RNG streams — is bit-identical to
+/// [`broadcast_single_with`]: fault randomness lives on its own seed
+/// streams. The plan's initial topology is `graph`; churn and mobility
+/// rewrite it as the run proceeds, and the diameter-derived plan is computed
+/// from the *initial* topology (the adversary does not get to re-negotiate
+/// the round budget).
+///
+/// # Panics
+///
+/// Panics if the graph is empty.
+#[expect(clippy::too_many_arguments, reason = "explicit-knob variant of broadcast_single_with")]
+pub fn broadcast_single_faulted(
+    graph: &Graph,
+    source: NodeId,
+    payload: u64,
+    params: &Params,
+    seed: u64,
+    mode: CollisionMode,
+    pacing: Pacing,
+    faults: &FaultPlan,
+) -> Ghk1Outcome {
     use radio_sim::graph::Traversal;
     assert!(graph.node_count() > 0, "graph must be non-empty");
     let d = graph.bfs(source).max_level();
     let plan = Ghk1Plan::new(params, d.max(1));
     let step: StepCell = Rc::new(Cell::new(Step::Idle));
-    let sim = Simulator::new(graph.clone(), mode, seed, |id| {
+    let sim = Simulator::new_with_faults(graph.clone(), mode, seed, faults.clone(), |id| {
         Ghk1Node::new(params, plan, Rc::clone(&step), id.raw(), (id == source).then_some(payload))
             .with_pacing(pacing)
     });

@@ -1,11 +1,15 @@
 //! The synchronous round engine.
 
+pub mod faults;
+
 use crate::graph::Graph;
 use crate::ids::NodeId;
 use crate::model::{Action, CollisionMode, Observation, Packet};
 use crate::rng;
 use crate::trace::{RoundStats, RunStats};
+use faults::{FaultPlan, FaultState};
 use rand::rngs::SmallRng;
+use rand::Rng;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -214,6 +218,10 @@ pub struct Simulator<P: Protocol> {
     /// Nodes whose hint must be recomputed after this round (scratch).
     dirty: Vec<u32>,
     is_dirty: Vec<bool>,
+    /// Adversarial fault state; `None` when constructed without a plan (or
+    /// with [`FaultPlan::none`]), in which case every fault hook is skipped
+    /// and the engine behaves exactly as it did without the fault layer.
+    faults: Option<FaultState>,
 }
 
 /// `wake_at` sentinel: no scheduled wake.
@@ -232,9 +240,27 @@ impl<P: Protocol> Simulator<P> {
         graph: Graph,
         mode: CollisionMode,
         master_seed: u64,
+        init: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        Self::new_with_faults(graph, mode, master_seed, FaultPlan::none(), init)
+    }
+
+    /// Like [`Simulator::new`], but with a seeded adversarial [`FaultPlan`]
+    /// applied inside every round (see [`faults`]).
+    ///
+    /// Fault randomness comes from dedicated streams of `master_seed`
+    /// ([`rng::fault_stream_rng`]), disjoint from the per-node protocol
+    /// streams: with [`FaultPlan::none`] (or any all-no-op plan) the
+    /// protocol trace is bit-identical to [`Simulator::new`].
+    pub fn new_with_faults(
+        graph: Graph,
+        mode: CollisionMode,
+        master_seed: u64,
+        faults: FaultPlan,
         mut init: impl FnMut(NodeId) -> P,
     ) -> Self {
         let n = graph.node_count();
+        let faults = (!faults.is_none()).then(|| FaultState::new(faults, master_seed, &graph));
         let nodes: Vec<P> = (0..n).map(|i| init(NodeId::new(i))).collect();
         let rngs: Vec<SmallRng> = (0..n).map(|i| rng::stream_rng(master_seed, i as u64)).collect();
         let mut sim = Simulator {
@@ -257,6 +283,7 @@ impl<P: Protocol> Simulator<P> {
             awake: Vec::new(),
             dirty: Vec::new(),
             is_dirty: Vec::new(),
+            faults,
         };
         if Self::WAKE_PATH {
             sim.wake_at = vec![WAKE_IDLE; n];
@@ -428,7 +455,14 @@ impl<P: Protocol> Simulator<P> {
         if !Self::WAKE_PATH || self.probe.is_some() || max == 0 {
             return None;
         }
-        let next = self.next_wake_round();
+        let mut next = self.next_wake_round();
+        if let Some(f) = &self.faults {
+            // Scheduled fault events (jams, churn, mobility) must be stepped,
+            // never fast-forwarded over; erasure needs no clamp because
+            // fully-idle rounds carry no packets to erase (and hence draw no
+            // fault randomness) on any path.
+            next = next.min(f.next_event_round(self.round));
+        }
         if next <= self.round {
             return None;
         }
@@ -454,6 +488,19 @@ impl<P: Protocol> Simulator<P> {
     pub fn step(&mut self) -> RoundStats {
         let round = self.round;
         let n = self.nodes.len();
+
+        // Scheduled topology faults (mobility re-sample, node/edge churn)
+        // rewrite the graph before anyone acts this round. Node count never
+        // changes, so every engine buffer and wake structure stays valid.
+        let mut churn_events = 0usize;
+        if let Some(f) = self.faults.as_mut() {
+            let (rebuilt, events) = f.apply_topology(round, n);
+            churn_events = events;
+            if let Some(g) = rebuilt {
+                self.graph = g;
+            }
+        }
+
         if Self::WAKE_PATH {
             // Deferred wake-hint recomputation for last round's dirty nodes.
             self.flush_dirty(round);
@@ -502,9 +549,25 @@ impl<P: Protocol> Simulator<P> {
 
         // Resolve the channel: count transmitting neighbors per node,
         // remembering which counters were touched for the sparse reset.
+        // With erasure enabled, each packet copy is dropped independently per
+        // receiving edge before it can contribute a delivery or a collision;
+        // the Bernoulli draws come from the dedicated erasure stream in a
+        // fixed order (transmit list x adjacency), identical on every engine
+        // path.
         self.touched.clear();
+        let mut erased = 0usize;
+        let mut erasure: Option<(f64, &mut SmallRng)> = match self.faults.as_mut() {
+            Some(f) => f.plan.erasure.map(|p| (p, &mut f.erasure_rng)),
+            None => None,
+        };
         for (t_idx, (sender, _)) in self.txs.iter().enumerate() {
             for &v in self.graph.neighbors(*sender) {
+                if let Some((p, rng)) = erasure.as_mut() {
+                    if rng.gen_bool(*p) {
+                        erased += 1;
+                        continue;
+                    }
+                }
                 if self.tx_count[v.index()] == 0 {
                     self.touched.push(v.index() as u32);
                 }
@@ -513,8 +576,35 @@ impl<P: Protocol> Simulator<P> {
             }
         }
 
-        let mut rstats =
-            RoundStats { transmitters: self.txs.len(), act_skips, ..RoundStats::default() };
+        // Active jammers flood their neighborhood with interference: every
+        // neighbor sees two extra virtual transmitters, so its channel
+        // resolves to a collision regardless of what (if anything) survived
+        // erasure. `tx_from` is never read at counts != 1, so the virtual
+        // transmitters need no packet.
+        let mut jammed = 0usize;
+        if let Some(f) = self.faults.as_ref() {
+            for j in &f.plan.jammers {
+                if !j.active(round) {
+                    continue;
+                }
+                for &v in self.graph.neighbors(NodeId::new(j.node as usize)) {
+                    if self.tx_count[v.index()] == 0 {
+                        self.touched.push(v.index() as u32);
+                    }
+                    self.tx_count[v.index()] += 2;
+                    jammed += 1;
+                }
+            }
+        }
+
+        let mut rstats = RoundStats {
+            transmitters: self.txs.len(),
+            act_skips,
+            erased,
+            jammed,
+            churn_events,
+            ..RoundStats::default()
+        };
 
         if P::SILENCE_IS_NOOP {
             // Sparse fast path: only nodes with a transmitting neighbor can
@@ -1279,5 +1369,211 @@ mod tests {
         let g = generators::complete(6);
         let mut sim = Simulator::new(g, CollisionMode::Detection, 0, |_| EvenTx);
         sim.run(10);
+    }
+
+    // ---- adversarial fault layer ----
+
+    /// The full trace of a `Rando` run (every RNG draw of every node), with
+    /// the given fault plan.
+    fn rando_trace(plan: FaultPlan, seed: u64) -> (Vec<Vec<bool>>, RunStats) {
+        let g = generators::cluster_chain(4, 4);
+        let mut sim = Simulator::new_with_faults(g, CollisionMode::Detection, seed, plan, |_| {
+            Rando { history: vec![] }
+        });
+        sim.run(80);
+        let stats = sim.stats().clone();
+        (sim.into_nodes().into_iter().map(|n| n.history).collect(), stats)
+    }
+
+    #[test]
+    fn noop_fault_plans_are_trace_identical() {
+        // Fault randomness lives on its own salted streams: a plan that draws
+        // fault randomness but never fires (erasure at p = 0, churn at p = 0)
+        // must leave every protocol draw — and the whole trace — untouched.
+        let baseline = rando_trace(FaultPlan::none(), 7);
+        for noop in [
+            FaultPlan::none().with_erasure(0.0),
+            FaultPlan::none().with_churn(1, 0.0, 0.0),
+            FaultPlan::none().with_erasure(0.0).with_churn(3, 0.0, 0.0),
+        ] {
+            assert_eq!(rando_trace(noop.clone(), 7), baseline, "plan {} perturbed", noop.label());
+        }
+    }
+
+    #[test]
+    fn erasure_at_p1_blocks_every_delivery() {
+        let g = generators::path(3);
+        let plan = FaultPlan::none().with_erasure(1.0);
+        let mut sim = Simulator::new_with_faults(g, CollisionMode::Detection, 0, plan, |id| {
+            Beacon::new(id.index() == 0, 7)
+        });
+        let stats = sim.step();
+        assert_eq!(stats.transmitters, 1);
+        assert_eq!(stats.deliveries, 0);
+        assert_eq!(stats.erased, 1, "one copy to one neighbor, erased");
+        assert_eq!(sim.node(NodeId::new(1)).seen, vec![Observation::Silence]);
+    }
+
+    #[test]
+    fn jammer_collides_its_neighborhood() {
+        // path 0-1-2 with a jammer at node 1 and nobody transmitting: both
+        // neighbors observe a collision (with detection) or silence (without);
+        // the host node itself is unaffected.
+        for (mode, expect) in [
+            (CollisionMode::Detection, Observation::Collision),
+            (CollisionMode::NoDetection, Observation::Silence),
+        ] {
+            let g = generators::path(3);
+            let plan = FaultPlan::none().with_jammer(1, 1, 0);
+            let mut sim = Simulator::new_with_faults(g, mode, 0, plan, |_| Beacon::new(false, 0));
+            let stats = sim.step();
+            assert_eq!(stats.transmitters, 0);
+            assert_eq!(stats.jammed, 2);
+            assert_eq!(stats.collisions, 2);
+            assert_eq!(sim.node(NodeId::new(0)).seen, vec![expect.clone()]);
+            assert_eq!(sim.node(NodeId::new(2)).seen, vec![expect.clone()]);
+            assert_eq!(sim.node(NodeId::new(1)).seen, vec![Observation::Silence]);
+        }
+    }
+
+    #[test]
+    fn jam_beats_a_clean_delivery() {
+        // Node 0 transmits to 1; a jammer co-located with 2 turns 1's clean
+        // reception into a collision.
+        let g = generators::path(3);
+        let plan = FaultPlan::none().with_jammer(2, 1, 0);
+        let mut sim = Simulator::new_with_faults(g, CollisionMode::Detection, 0, plan, |id| {
+            Beacon::new(id.index() == 0, 9)
+        });
+        let stats = sim.step();
+        assert_eq!(stats.deliveries, 0);
+        assert_eq!(sim.node(NodeId::new(1)).seen, vec![Observation::Collision]);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_in_run_stats() {
+        let plan =
+            FaultPlan::none().with_erasure(0.5).with_jammer(0, 4, 1).with_churn(5, 0.05, 0.05);
+        let (_, stats) = rando_trace(plan, 3);
+        assert!(stats.erased > 0, "no erasures over 80 half-rate rounds");
+        assert!(stats.jammed > 0, "jammer never fired");
+        assert!(stats.churn_events > 0, "churn never toggled");
+    }
+
+    #[test]
+    fn wake_path_matches_dense_path_under_faults() {
+        // The wake-vs-dense bit-identity must survive every fault class: the
+        // idle-gap clamp steps all scheduled fault rounds, and erasure draws
+        // happen only in rounds both paths step.
+        type Trace = Vec<(Vec<u64>, Vec<(u64, Option<u8>)>)>;
+        fn run<const WAKE: bool>(
+            mode: CollisionMode,
+            seed: u64,
+            plan: FaultPlan,
+        ) -> (Trace, RunStats) {
+            let g = generators::cluster_chain(4, 4);
+            let mut sim = Simulator::new_with_faults(g, mode, seed, plan, |id| Periodic::<WAKE> {
+                period: 1 + u64::from(id.raw() % 5) * 3,
+                active: id.index() % 3 != 1,
+                draws: vec![],
+                heard: vec![],
+            });
+            sim.run(300);
+            let stats = sim.stats().clone();
+            (sim.into_nodes().into_iter().map(|n| (n.draws, n.heard)).collect(), stats)
+        }
+        let plans = [
+            FaultPlan::none().with_erasure(0.2),
+            FaultPlan::none().with_jammer(5, 13, 4),
+            FaultPlan::none().with_churn(9, 0.02, 0.05),
+            FaultPlan::none().with_erasure(0.1).with_jammer(2, 7, 0).with_churn(11, 0.01, 0.03),
+        ];
+        for mode in [CollisionMode::Detection, CollisionMode::NoDetection] {
+            for plan in &plans {
+                let (dense, ds) = run::<false>(mode, 17, plan.clone());
+                let (wake, ws) = run::<true>(mode, 17, plan.clone());
+                assert_eq!(dense, wake, "trace diverged ({mode:?}, {})", plan.label());
+                // `act_skips`/`idle_fastforward` legitimately differ between
+                // the paths; every semantic field must not.
+                assert_eq!(
+                    (ds.rounds, ds.transmissions, ds.deliveries, ds.collisions),
+                    (ws.rounds, ws.transmissions, ws.deliveries, ws.collisions),
+                    "stats diverged ({mode:?}, {})",
+                    plan.label()
+                );
+                assert_eq!(
+                    (ds.erased, ds.jammed, ds.churn_events),
+                    (ws.erased, ws.jammed, ws.churn_events),
+                    "fault counters diverged ({mode:?}, {})",
+                    plan.label()
+                );
+                assert!(ws.act_skips > 0, "wake path never skipped ({})", plan.label());
+            }
+        }
+    }
+
+    #[test]
+    fn jam_rounds_are_stepped_and_rewake_sleepers() {
+        // All nodes idle except the jam schedule: the wake path must step
+        // every jam round (not fast-forward over it), and the induced
+        // collision must re-wake a sleeping Relay exactly as on the dense
+        // path.
+        fn informed<const WAKE: bool>() -> (Vec<Option<u64>>, RunStats) {
+            let g = generators::path(4);
+            let plan = FaultPlan::none().with_jammer(0, 100, 50);
+            let mut sim =
+                Simulator::new_with_faults(
+                    g,
+                    CollisionMode::Detection,
+                    0,
+                    plan,
+                    |_| Relay::<WAKE> { active: false, informed_at: None },
+                );
+            sim.run(500);
+            let stats = sim.stats().clone();
+            (sim.into_nodes().into_iter().map(|n| n.informed_at).collect(), stats)
+        }
+        let (dense, ds) = informed::<false>();
+        let (wake, ws) = informed::<true>();
+        assert_eq!(dense, wake);
+        assert_eq!(ds.jammed, ws.jammed);
+        // The jam at round 50 wakes node 1 (node 0's only neighbor), which
+        // then beacons and floods the path.
+        assert_eq!(wake[1], Some(50));
+        assert!(wake[3].is_some());
+        assert!(ws.idle_fastforward > 0, "idle stretches between jams not fast-forwarded");
+    }
+
+    #[test]
+    fn churned_out_edge_stops_delivery() {
+        // Deterministic churn (p = 1 every round): both nodes of a 2-path
+        // toggle down at round 1, so the beacon's packets stop arriving.
+        let g = generators::path(2);
+        let plan = FaultPlan::none().with_churn(1, 0.0, 1.0);
+        let mut sim = Simulator::new_with_faults(g, CollisionMode::Detection, 0, plan, |id| {
+            Beacon::new(id.index() == 0, 5)
+        });
+        let first = sim.step(); // round 0: no churn yet, clean delivery
+        assert_eq!(first.deliveries, 1);
+        let second = sim.step(); // round 1: the only edge toggles down
+        assert_eq!(second.churn_events, 1);
+        assert_eq!(second.deliveries, 0);
+        let third = sim.step(); // round 2: it toggles back up
+        assert_eq!(third.deliveries, 1);
+    }
+
+    #[test]
+    fn mobility_resamples_on_epoch_boundaries() {
+        let g = generators::path(24);
+        let plan = FaultPlan::none().with_mobility(0.5, 8);
+        let mut sim = Simulator::new_with_faults(g, CollisionMode::Detection, 4, plan, |_| Rando {
+            history: vec![],
+        });
+        let before: Vec<_> = sim.graph().edges().collect();
+        sim.run(9); // rounds 0..=8: the round-8 step applies the first epoch
+        let after: Vec<_> = sim.graph().edges().collect();
+        assert_ne!(before, after, "epoch boundary did not re-sample the topology");
+        assert_eq!(sim.graph().node_count(), 24);
+        assert!(sim.stats().churn_events >= 1);
     }
 }

@@ -20,7 +20,8 @@
 //!   BFS/diameter utilities, and a library of workload
 //!   [generators](graph::generators);
 //! * [`engine`] — the deterministic round engine ([`Simulator`]) driving any
-//!   per-node [`Protocol`] state machine;
+//!   per-node [`Protocol`] state machine, with an optional seeded
+//!   adversary ([`engine::faults`]: erasure, jamming, churn, mobility);
 //! * [`model`] — the radio-channel types ([`Action`], [`Observation`],
 //!   [`CollisionMode`]);
 //! * [`trace`] — per-round and per-run statistics.
@@ -70,6 +71,7 @@ pub mod model;
 pub mod rng;
 pub mod trace;
 
+pub use engine::faults::{Churn, FaultPlan, Jammer, Mobility};
 pub use engine::{DenseWrap, DoneCheck, Protocol, SegmentRun, Simulator, Wake};
 pub use graph::Graph;
 pub use ids::NodeId;

@@ -20,6 +20,15 @@ pub struct RoundStats {
     /// Act calls skipped by the wake-list fast path
     /// (see `Protocol::WAKE_HINTS`); 0 on the dense path.
     pub act_skips: usize,
+    /// Packet copies erased by the fault layer (per receiving edge); 0
+    /// without a fault plan.
+    pub erased: usize,
+    /// Jam injections (one per neighbor of each active jammer); 0 without a
+    /// fault plan.
+    pub jammed: usize,
+    /// Topology fault events this round: node/edge churn toggles plus
+    /// mobility re-samples; 0 without a fault plan.
+    pub churn_events: usize,
 }
 
 /// Aggregated statistics over a whole run.
@@ -42,6 +51,12 @@ pub struct RunStats {
     /// skip totals, so a fast-forwarded run reports the same semantic trace
     /// as one that stepped every round).
     pub idle_fastforward: u64,
+    /// Total packet copies erased by the fault layer.
+    pub erased: u64,
+    /// Total jam injections.
+    pub jammed: u64,
+    /// Total topology fault events (churn toggles + mobility re-samples).
+    pub churn_events: u64,
 }
 
 impl RunStats {
@@ -53,6 +68,9 @@ impl RunStats {
         self.collisions += r.collisions as u64;
         self.observe_skips += r.observe_skips as u64;
         self.act_skips += r.act_skips as u64;
+        self.erased += r.erased as u64;
+        self.jammed += r.jammed as u64;
+        self.churn_events += r.churn_events as u64;
     }
 
     /// Folds `rounds` fully-idle rounds (of an `n`-node network) into the
@@ -100,18 +118,21 @@ mod tests {
             transmitters: 3,
             deliveries: 2,
             collisions: 1,
-            silent: 0,
-            observe_skips: 0,
-            act_skips: 0,
+            erased: 2,
+            jammed: 4,
+            churn_events: 1,
+            ..RoundStats::default()
         });
         run.absorb(RoundStats {
             transmitters: 1,
             deliveries: 1,
-            collisions: 0,
             silent: 4,
-            observe_skips: 0,
-            act_skips: 0,
+            erased: 1,
+            ..RoundStats::default()
         });
+        assert_eq!(run.erased, 3);
+        assert_eq!(run.jammed, 4);
+        assert_eq!(run.churn_events, 1);
         assert_eq!(run.rounds, 2);
         assert_eq!(run.transmissions, 4);
         assert_eq!(run.deliveries, 3);
@@ -122,14 +143,7 @@ mod tests {
     fn delivery_ratio_handles_zero() {
         assert_eq!(RunStats::default().delivery_ratio(), 0.0);
         let mut run = RunStats::default();
-        run.absorb(RoundStats {
-            transmitters: 4,
-            deliveries: 2,
-            collisions: 0,
-            silent: 0,
-            observe_skips: 0,
-            act_skips: 0,
-        });
+        run.absorb(RoundStats { transmitters: 4, deliveries: 2, ..RoundStats::default() });
         assert!((run.delivery_ratio() - 0.5).abs() < 1e-12);
     }
 

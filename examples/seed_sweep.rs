@@ -7,6 +7,7 @@
 //! ```
 
 use broadcast::{Algo, Scenario, TopologySpec, Workload};
+use radio_sim::FaultPlan;
 
 fn main() {
     let corridor = TopologySpec::ClusterChain { clusters: 20, size: 6 };
@@ -17,10 +18,22 @@ fn main() {
     assert!(ghk.all_within_caps(), "a run exceeded its worst-case cap");
 
     let decay =
-        Scenario::new(corridor, Workload::Baseline(Algo::Decay { payload: 0xA1E57 })).seeds(0..5);
+        Scenario::new(corridor.clone(), Workload::Baseline(Algo::Decay { payload: 0xA1E57 }))
+            .seeds(0..5);
     println!("{}", decay.report());
     assert!(decay.all_completed(), "Decay failed on seeds {:?}", decay.failures());
 
     let ratio = ghk.mean_rounds().unwrap() / decay.mean_rounds().unwrap().max(1.0);
     println!("mean GHK-CD / mean Decay = {ratio:.1}x over 5 shared seeds");
+
+    // Adversarial smoke: the same corridor under 5% packet erasure. Decay
+    // degrades gracefully and must still complete on every seed; the sweep
+    // label records the fault plan.
+    let lossy = Scenario::new(corridor, Workload::Baseline(Algo::Decay { payload: 0xA1E57 }))
+        .faults(FaultPlan::none().with_erasure(0.05))
+        .round_cap(100_000)
+        .seeds(0..5);
+    println!("{}", lossy.report());
+    assert!(lossy.label.ends_with("+erase(0.05)"), "fault label drifted: {}", lossy.label);
+    assert!(lossy.all_completed(), "lossy Decay failed on seeds {:?}", lossy.failures());
 }

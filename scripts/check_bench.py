@@ -6,8 +6,11 @@ Fails CI when the wake-hint fast path silently regresses to dense stepping
 above its pinned regression budget (mirroring tests/regression_rounds.rs for
 the exact bench seeds), when the idle microbench speedup collapses, or —
 since the Scenario-facade migration (schema 2) — when an entry's declarative
-scenario descriptor (topology label, workload kind, seed) or any required
-field is missing or drifts from the pinned declaration.
+scenario descriptor (topology label, workload kind, seed, and, since the
+fault layer landed in schema 3, the fault-plan label) or any required field
+is missing or drifts from the pinned declaration. Schema 3 also requires the
+fault counters (`erased`/`jammed`/`churn_events`) on every entry and pins a
+lossy `multi_unknown` run whose erasure must actually have fired.
 
 Usage: python3 scripts/check_bench.py [path/to/BENCH_pipeline.json]
 """
@@ -15,9 +18,9 @@ Usage: python3 scripts/check_bench.py [path/to/BENCH_pipeline.json]
 import json
 import sys
 
-EXPECTED_SCHEMA = 2
+EXPECTED_SCHEMA = 3
 
-# Every field each pipeline entry must carry (schema 2).
+# Every field each pipeline entry must carry (schema 3).
 REQUIRED_ENTRY_FIELDS = (
     "name",
     "scenario",
@@ -29,8 +32,11 @@ REQUIRED_ENTRY_FIELDS = (
     "observe_skips",
     "act_skips",
     "idle_fastforward",
+    "erased",
+    "jammed",
+    "churn_events",
 )
-REQUIRED_SCENARIO_FIELDS = ("topology", "workload", "seed")
+REQUIRED_SCENARIO_FIELDS = ("topology", "workload", "seed", "faults")
 
 # The declarative scenario each entry must have run — the bench declares its
 # runs through the Scenario facade, and these descriptors pin the declaration
@@ -41,21 +47,31 @@ EXPECTED_SCENARIOS = {
         "topology": "cluster_chain(20x6)",
         "workload": "single",
         "seed": 1,
+        "faults": "none",
     },
     "e2_unit_disk_single": {
         "topology": "unit_disk(80,r=0.18,g=2024)",
         "workload": "single",
         "seed": 1,
+        "faults": "none",
     },
     "multi_telemetry_backhaul": {
         "topology": "cluster_chain(6x6)",
         "workload": "multi_unknown",
         "seed": 11,
+        "faults": "none",
     },
     "multi_firmware_grid": {
         "topology": "grid(6x6)",
         "workload": "multi_unknown",
         "seed": 3,
+        "faults": "none",
+    },
+    "multi_lossy_telemetry": {
+        "topology": "cluster_chain(6x6)",
+        "workload": "multi_unknown",
+        "seed": 11,
+        "faults": "erase(0.05)",
     },
 }
 
@@ -66,6 +82,7 @@ ROUND_BUDGETS = {
     "e2_unit_disk_single": 4_800,
     "multi_telemetry_backhaul": 7_000,
     "multi_firmware_grid": 12_500,
+    "multi_lossy_telemetry": 7_000,
 }
 
 # Exact round counts at the bench's fixed seeds. Runs are deterministic, so
@@ -78,6 +95,7 @@ EXPECTED_ROUNDS = {
     "e2_unit_disk_single": 2_146,
     "multi_telemetry_backhaul": 3_308,
     "multi_firmware_grid": 5_011,
+    "multi_lossy_telemetry": 3_366,
 }
 
 MIN_MICROBENCH_SPEEDUP = 50.0
@@ -129,6 +147,18 @@ def check_entry(entry, failures):
         failures.append(
             f"{name}: {entry['rounds']} rounds exceeds the worst-case "
             f"cap {entry['cap']}"
+        )
+    faults = scenario.get("faults", "none")
+    if "erase(" in faults and entry["erased"] <= 0:
+        failures.append(
+            f"{name}: declares erasure ({faults}) but erased == 0 — "
+            "the fault layer never fired"
+        )
+    if faults == "none" and (
+        entry["erased"] or entry["jammed"] or entry["churn_events"]
+    ):
+        failures.append(
+            f"{name}: fault-free entry reports nonzero fault counters"
         )
 
 

@@ -11,9 +11,9 @@ use broadcast::multi_message::{
 use broadcast::single_message::{
     broadcast_single, broadcast_single_in_mode, broadcast_single_with,
 };
-use broadcast::Params;
+use broadcast::{Params, Scenario, TopologySpec, Workload};
 use radio_sim::graph::{generators, Traversal};
-use radio_sim::{CollisionMode, DenseWrap, NodeId, Protocol, RunStats, Simulator};
+use radio_sim::{CollisionMode, DenseWrap, FaultPlan, NodeId, Protocol, RunStats, Simulator};
 use rlnc::gf2::BitVec;
 
 /// Runs `make`'s protocol through both engine paths (wake-list vs dense
@@ -232,6 +232,50 @@ fn multi_segment_pacing_equals_per_step_across_modes_and_seeds() {
                 "segment pacing never skipped ({mode:?}, seed {seed})"
             );
             assert_eq!(step.stats.act_skips, 0, "per-step pacing must poll everyone");
+        }
+    }
+}
+
+#[test]
+fn faulted_runs_replay_identically_across_modes_and_seeds() {
+    // Fault randomness comes from its own salted streams of the master
+    // seed, so a faulted run is as pure a function of (scenario, seed) as a
+    // clean one: the full RunStats — channel trace *and* the erased /
+    // jammed / churn_events fault counters — must replay exactly, for both
+    // collision modes, under each fault class.
+    let spec = TopologySpec::ClusterChain { clusters: 4, size: 4 };
+    let plans = [
+        ("erasure", FaultPlan::none().with_erasure(0.15)),
+        ("jammer", FaultPlan::none().with_jammer(5, 3, 1)),
+        ("churn", FaultPlan::none().with_churn(2, 0.01, 0.05)),
+    ];
+    for (class, plan) in &plans {
+        for mode in [CollisionMode::Detection, CollisionMode::NoDetection] {
+            for seed in 0..4u64 {
+                let run = || {
+                    Scenario::new(spec.clone(), Workload::Single { payload: 3 })
+                        .collision_mode(mode)
+                        .seed(seed)
+                        .faults(plan.clone())
+                        .run()
+                };
+                let (a, b) = (run(), run());
+                assert_eq!(
+                    a.completion_round, b.completion_round,
+                    "completion diverged ({class}, {mode:?}, seed {seed})"
+                );
+                assert_eq!(a.stats, b.stats, "RunStats diverged ({class}, {mode:?}, seed {seed})");
+                assert_eq!(
+                    a.phases, b.phases,
+                    "phase accounting diverged ({class}, {mode:?}, seed {seed})"
+                );
+                let fired = match *class {
+                    "erasure" => a.stats.erased,
+                    "jammer" => a.stats.jammed,
+                    _ => a.stats.churn_events,
+                };
+                assert!(fired > 0, "{class} never fired ({mode:?}, seed {seed}): {:?}", a.stats);
+            }
         }
     }
 }
