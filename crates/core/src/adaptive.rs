@@ -38,6 +38,7 @@
 //! for the equivalence suites.
 
 use crate::construction::{ConstructionSchedule, GstConstructionNode};
+use radio_sim::trace::RoundStats;
 
 /// How an adaptive pipeline driver pumps the simulator.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -87,6 +88,115 @@ impl<P: Advance> Segment<P> {
     pub fn pos_at(&self, round: u64) -> Option<P> {
         (self.start..self.end()).contains(&round).then(|| self.pos.advanced(round - self.start))
     }
+}
+
+/// How an adaptive open-ended window closed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowEnd {
+    /// The status probe quiesced (or the run completed): the phase's work is
+    /// done and the cursor may advance.
+    Quiesced,
+    /// The budget ran out with the probe still busy. Under faults this is a
+    /// *failed handoff* — the confirmation the driver was waiting for never
+    /// came — and triggers the retry-with-backoff path.
+    Exhausted,
+}
+
+/// Status reads a majority vote spans: the triggering read plus up to
+/// `VOTE_WINDOW - 1` confirmation rounds.
+pub const VOTE_WINDOW: u32 = 3;
+
+/// Failed-handoff re-publications (with doubled budgets) before a driver
+/// gives up on the phase machinery and arms the no-knowledge fallback.
+pub const HANDOFF_RETRIES: u32 = 3;
+
+/// Whether a round's status read was touched by a channel-level fault (an
+/// erased packet copy or a jam injection) and its verdict is therefore
+/// suspect. Topology churn does not corrupt a status read: the transmit
+/// census is taken before the channel resolves.
+fn fault_touched(r: &RoundStats) -> bool {
+    r.erased + r.jammed > 0
+}
+
+/// What the channel actually rendered to listeners in a status round: quiet
+/// iff nobody heard a packet or a collision. Unlike the transmit census this
+/// is what an in-model observer could know on a faulted channel — an erased
+/// beep renders quiet, a jam renders busy.
+fn rendered_quiet(r: &RoundStats) -> bool {
+    r.deliveries + r.collisions == 0
+}
+
+/// Outcome of a majority-voted quiescence decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VoteOutcome {
+    /// The voted verdict: `true` = the probe quiesced.
+    pub quiet: bool,
+    /// Whether the vote overturned the single-round decision the pre-voting
+    /// driver would have taken on `first` alone.
+    pub overturned: bool,
+}
+
+/// Whether a status read decides its verdict on its own, and if so which.
+/// `None` means the read is ambiguous and needs confirmation.
+///
+/// * A fault-clean read keeps the channel-census verdict
+///   (`transmitters == 0`) untouched.
+/// * An erasure-only read (`jammed == 0`) that rendered *busy* is
+///   authoritative busy: erasure deletes signal but never fabricates it, so
+///   audible activity is real. Only an erasure-touched read that rendered
+///   quiet is suspect (the beeps may all have been erased).
+/// * A jam-touched read decides nothing by itself — jams fabricate
+///   collisions, so both renderings are suspect.
+fn self_deciding(r: &RoundStats) -> Option<bool> {
+    if !fault_touched(r) {
+        return Some(r.transmitters == 0);
+    }
+    (r.jammed == 0 && !rendered_quiet(r)).then_some(false)
+}
+
+/// Majority-voted quiescence verdict over a small window of status reads.
+///
+/// `first` is the status round the caller just executed. A self-deciding
+/// read (see `self_deciding`: fault-clean, or audibly busy under
+/// erasure-only faults) keeps its verdict untouched — on a run without
+/// faults every read is clean, so the voting layer is provably bit-identical
+/// to the single-round driver. An ambiguous read is demoted to what the
+/// channel actually rendered to listeners and confirmed by up to
+/// [`VOTE_WINDOW`]` - 1` re-probes via `revote`: the first self-deciding
+/// re-read is authoritative, otherwise the majority of the renderings wins
+/// (ties count as busy — the conservative direction, since a busy verdict
+/// only keeps the window open).
+///
+/// `votable` must be `false` for *consuming* probes (the take-style
+/// wave-progress and new-activation reads): re-probing them would eat the
+/// dirty flag the first read already consumed, so their single-round verdict
+/// stands.
+pub fn vote_quiet(
+    first: RoundStats,
+    votable: bool,
+    mut revote: impl FnMut() -> RoundStats,
+) -> VoteOutcome {
+    let census_quiet = first.transmitters == 0;
+    if !votable {
+        return VoteOutcome { quiet: census_quiet, overturned: false };
+    }
+    if let Some(quiet) = self_deciding(&first) {
+        return VoteOutcome { quiet, overturned: quiet != census_quiet };
+    }
+    let mut quiet_votes = usize::from(rendered_quiet(&first));
+    let mut reads = 1usize;
+    let mut authoritative = None;
+    while reads < VOTE_WINDOW as usize {
+        let r = revote();
+        reads += 1;
+        if let Some(verdict) = self_deciding(&r) {
+            authoritative = Some(verdict);
+            break;
+        }
+        quiet_votes += usize::from(rendered_quiet(&r));
+    }
+    let quiet = authoritative.unwrap_or(2 * quiet_votes > reads);
+    VoteOutcome { quiet, overturned: quiet != census_quiet }
 }
 
 /// Construction status probes: what a dedicated status round asks the

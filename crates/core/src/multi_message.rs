@@ -44,8 +44,8 @@
 //! ring constructions).
 
 use crate::adaptive::{
-    answer_cons_probe, cons_status_budget, drive_construction, Advance, ConsDriver, ConsProbe,
-    Pacing, Segment,
+    answer_cons_probe, cons_status_budget, drive_construction, vote_quiet, Advance, ConsDriver,
+    ConsProbe, Pacing, Segment, WindowEnd, HANDOFF_RETRIES,
 };
 use crate::construction::{ConstructionSchedule, GstConstructionNode, GstMsg};
 use crate::decay::DecaySchedule;
@@ -85,6 +85,8 @@ pub struct MultiPhaseRounds {
     pub disseminate: u64,
     /// Handoff work rounds, summed over handoffs.
     pub handoff: u64,
+    /// No-knowledge Decay fallback rounds (faulted runs whose pipeline failed).
+    pub fallback: u64,
     /// Status-beep rounds, all phases.
     pub status: u64,
 }
@@ -92,7 +94,13 @@ pub struct MultiPhaseRounds {
 impl MultiPhaseRounds {
     /// Total rounds executed.
     pub fn total(&self) -> u64 {
-        self.wave + self.construct + self.label + self.disseminate + self.handoff + self.status
+        self.wave
+            + self.construct
+            + self.label
+            + self.disseminate
+            + self.handoff
+            + self.fallback
+            + self.status
     }
 }
 
@@ -414,6 +422,14 @@ pub enum GhkMultiPhase {
         /// Round within the handoff.
         offset: u64,
     },
+    /// No-knowledge Decay fallback (faulted runs only): every holder floods
+    /// coded packets for one held batch on the Decay schedule, ignoring ring
+    /// and window bookkeeping, so nodes the faults stranded outside the
+    /// pipeline still decode.
+    Fallback {
+        /// Round within the fallback.
+        offset: u64,
+    },
     /// Pipeline finished.
     Done,
 }
@@ -431,6 +447,9 @@ impl Advance for GhkMultiPhase {
             }
             GhkMultiPhase::Handoff { window, offset } => {
                 GhkMultiPhase::Handoff { window, offset: offset + delta }
+            }
+            GhkMultiPhase::Fallback { offset } => {
+                GhkMultiPhase::Fallback { offset: offset + delta }
             }
             GhkMultiPhase::Done => GhkMultiPhase::Done,
         }
@@ -602,6 +621,10 @@ pub enum MultiProbe {
         /// The window whose handoff slot is open.
         window: u32,
     },
+    /// Fallback: "are you still missing any batch?" — ring and window state
+    /// deliberately ignored so nodes the faults stranded outside the pipeline
+    /// (no ring, no labels) still answer.
+    Undecoded,
 }
 
 /// The shared per-round directive of the adaptive Theorem 1.3 driver: a
@@ -962,6 +985,30 @@ impl GhkMultiNode {
                 let slot = &self.batches[batch as usize];
                 slot.decoded.is_none() && !slot.fec.as_ref().is_some_and(Decoder::can_decode)
             }
+            MultiProbe::Undecoded => !self.is_complete(),
+        }
+    }
+
+    /// Driver echo of the measured-erasure adapted handoff repair rate (see
+    /// [`MultiRunOpts::fec_repair`]); part of the idealized status-round
+    /// knowledge, like the finalize echoes. Never called on fault-free runs.
+    fn set_fec_repair(&mut self, fec_repair: u32) {
+        self.fec_repair = fec_repair;
+    }
+
+    /// Decodes every full-rank pending FEC receiver into its batch slot so
+    /// the node relays (instead of merely holding rank) during the fallback.
+    fn decode_ready(&mut self) {
+        for slot in &mut self.batches {
+            if slot.decoded.is_none() {
+                if let Some(fec) = &slot.fec {
+                    if fec.can_decode() {
+                        if let Some(msgs) = fec.decode() {
+                            slot.decoded = Some(msgs);
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -1054,6 +1101,21 @@ impl GhkMultiNode {
                 if sender {
                     let (first, _) = aligned(offset, u64::from(ring % 2));
                     clamp(first)
+                } else {
+                    sleep
+                }
+            }
+            GhkMultiPhase::Fallback { .. } => {
+                // Holders (and nodes with pending decoders to finalize) act
+                // every round; everyone else sleeps until a delivery's
+                // observation re-wakes them.
+                if self.sched.is_some()
+                    || self.fec_pending.is_some()
+                    || self.batches.iter().any(|s| {
+                        s.decoded.is_some() || s.fec.as_ref().is_some_and(Decoder::can_decode)
+                    })
+                {
+                    Wake::Now
                 } else {
                     sleep
                 }
@@ -1157,6 +1219,9 @@ impl Protocol for GhkMultiNode {
                     Wake::At(self.plan.cycle_start(window + 1))
                 }
             }
+            // The fixed plan never derives `Fallback` (it exists only for
+            // the adaptive driver's recovery segments).
+            GhkMultiPhase::Fallback { .. } => Wake::Now,
             GhkMultiPhase::Done => {
                 if self.sched.is_none() && self.fec_pending.is_none() {
                     Wake::Idle
@@ -1297,6 +1362,27 @@ impl GhkMultiNode {
                 }
                 Action::Listen
             }
+            GhkMultiPhase::Fallback { offset } => {
+                // No-knowledge recovery: finalize whatever the pipeline left
+                // pending, then flood held batches on the Decay schedule with
+                // fountain packets — no ring, window, or label bookkeeping.
+                self.harvest_window();
+                self.decode_ready();
+                let held: Vec<u32> = (0..self.plan.batch_count)
+                    .filter(|&b| self.batches[b as usize].decoded.is_some())
+                    .collect();
+                let Some(&batch) = held.get(offset as usize % held.len().max(1)) else {
+                    return Action::Listen;
+                };
+                if self.decay.fires(offset, rng) {
+                    let decoded = self.batches[batch as usize].decoded.as_ref().expect("held");
+                    let src = Decoder::with_messages(decoded);
+                    if let Some(packet) = src.random_combination(rng) {
+                        return Action::Transmit(GhkMMsg::Fec { batch, packet });
+                    }
+                }
+                Action::Listen
+            }
             GhkMultiPhase::Done => {
                 self.harvest_window();
                 Action::Listen
@@ -1422,6 +1508,25 @@ impl GhkMultiNode {
                     }
                 }
             }
+            GhkMultiPhase::Fallback { .. } => {
+                // Ring-agnostic adoption: any node still missing a batch
+                // collects fountain packets for it, decoding at its next act
+                // (`decode_ready`) so coverage spreads hop by hop.
+                if let Observation::Message(p) = &obs {
+                    if let GhkMMsg::Fec { batch, packet } = &**p {
+                        let klen = self.plan.batch_range(*batch).len();
+                        let slot = &mut self.batches[*batch as usize];
+                        if slot.decoded.is_none()
+                            && !slot.fec.as_ref().is_some_and(Decoder::can_decode)
+                        {
+                            let fec = slot
+                                .fec
+                                .get_or_insert_with(|| Decoder::new(klen, self.payload_bits));
+                            fec.insert(packet.clone());
+                        }
+                    }
+                }
+            }
             GhkMultiPhase::Done => {}
         }
     }
@@ -1441,6 +1546,35 @@ struct MultiDriver {
     label_status_left: u64,
     phases: MultiPhaseRounds,
     completion: Option<u64>,
+    /// True exactly when the simulator carries a fault plan — gates voting,
+    /// handoff retries, the fec-repair adaptation, and the fallback, so
+    /// `FaultPlan::none()` runs stay bit-identical by construction.
+    recovery: bool,
+    /// The configured [`MultiRunOpts::fec_repair`] knob (ceiling of the
+    /// measured-erasure adaptation).
+    fec_repair: u32,
+    /// The repair rate last echoed to the nodes (initially the knob, which
+    /// the constructor baked in); echoes only on change.
+    fec_echoed: u32,
+}
+
+/// Measured-erasure adaptation of the handoff FEC repair knob: the gate
+/// compression halves (toward `1`, the most aggressive repair emission) each
+/// time the cumulative per-copy erasure count crosses another doubling of
+/// ~1% of the traffic. Clean channels (`erased == 0`) and the paper's
+/// full-cycle gate (`knob == 0`) pass through untouched.
+fn effective_repair(knob: u32, erased: u64, delivered: u64) -> u32 {
+    if knob == 0 || erased == 0 {
+        return knob;
+    }
+    let total = erased + delivered;
+    let mut gate = total.div_ceil(100).max(1);
+    let mut r = knob;
+    while r > 1 && erased >= gate {
+        r /= 2;
+        gate *= 2;
+    }
+    r
 }
 
 impl MultiDriver {
@@ -1492,10 +1626,43 @@ impl MultiDriver {
         self.completion.is_some()
     }
 
-    /// Runs one status round; `true` iff the channel stayed silent.
+    /// Runs one status round; `true` iff the driver concludes the probe is
+    /// quiet. On fault-free runs this is the omniscient census
+    /// (`transmitters == 0`), untouched. On faulted runs a fault-touched
+    /// status round is confirmed by majority vote over a small window (see
+    /// [`vote_quiet`]); take-style probes that consume dirty flags are never
+    /// re-probed.
     fn quiet(&mut self, probe: MultiProbe) -> bool {
         self.phases.status += 1;
-        self.exec(MultiStep::Status(probe)).transmitters == 0
+        let first = self.exec(MultiStep::Status(probe));
+        if !self.recovery {
+            return first.transmitters == 0;
+        }
+        let votable =
+            !matches!(probe, MultiProbe::WaveProgress | MultiProbe::Cons(ConsProbe::NewActivation));
+        let v = vote_quiet(first, votable, || {
+            self.phases.status += 1;
+            match probe {
+                MultiProbe::Cons(_) => {
+                    self.cons_status_left = self.cons_status_left.saturating_sub(1);
+                }
+                MultiProbe::Unlabelled | MultiProbe::LabelFrontier { .. } => {
+                    self.label_status_left = self.label_status_left.saturating_sub(1);
+                }
+                _ => {}
+            }
+            self.exec(MultiStep::Status(probe))
+        });
+        if v.overturned {
+            self.sim.stats_mut().votes_overturned += 1;
+        }
+        v.quiet
+    }
+
+    /// Worst-case rounds still available under [`GhkMultiPlan::total_rounds`]
+    /// — the shared pool retries and the fallback draw from.
+    fn budget_left(&self) -> u64 {
+        self.plan.total_rounds().saturating_sub(self.sim.round())
     }
 
     /// A labeling status round, charged against the labeling status budget.
@@ -1513,6 +1680,13 @@ impl MultiDriver {
     /// status rounds) is exhausted. With `probe_first`, the probe runs
     /// before any work — a window with nothing pending collapses to a
     /// single status round (the handoff-skip case).
+    ///
+    /// Spend is measured as the simulator-round delta, so the extra status
+    /// rounds a majority vote injects on faulted runs charge this window's
+    /// budget (fault-free runs execute exactly the rounds the old per-call
+    /// counter did). Returns whether the window ended on quiescence or by
+    /// exhausting its budget with the probe still busy — the failed-handoff
+    /// signal the retry logic keys on.
     fn window(
         &mut self,
         budget: u64,
@@ -1520,34 +1694,36 @@ impl MultiDriver {
         probe_first: bool,
         work: impl Fn(u64) -> GhkMultiPhase,
         count: fn(&mut MultiPhaseRounds) -> &mut u64,
-    ) {
+    ) -> WindowEnd {
         let slack = self.quiescence_slack.max(1);
         let mut offset = 0u64;
-        let mut spent = 0u64;
+        let start = self.sim.round();
+        let spent = |sim: &Simulator<GhkMultiNode>| sim.round() - start;
         let mut quiet_streak = 0u32;
-        if probe_first && !self.done() {
-            spent += 1;
-            if self.quiet(probe) {
-                return;
-            }
+        if probe_first && !self.done() && self.quiet(probe) {
+            return WindowEnd::Quiesced;
         }
-        while spent < budget && !self.done() {
-            let run = self.exec_segment(work(offset), self.beep.min(budget - spent));
+        while spent(&self.sim) < budget && !self.done() {
+            let len = self.beep.min(budget - spent(&self.sim));
+            let run = self.exec_segment(work(offset), len);
             *count(&mut self.phases) += run;
             offset += run;
-            spent += run;
-            if spent >= budget || self.done() {
-                return;
+            if spent(&self.sim) >= budget || self.done() {
+                break;
             }
-            spent += 1;
             if self.quiet(probe) {
                 quiet_streak += 1;
                 if quiet_streak >= slack {
-                    return;
+                    return WindowEnd::Quiesced;
                 }
             } else {
                 quiet_streak = 0;
             }
+        }
+        if self.done() {
+            WindowEnd::Quiesced
+        } else {
+            WindowEnd::Exhausted
         }
     }
 
@@ -1597,7 +1773,7 @@ impl MultiDriver {
         }
         if !self.done() {
             // Phase 1: the collision wave.
-            self.window(
+            let _ = self.window(
                 self.plan.wave_budget,
                 MultiProbe::WaveProgress,
                 false,
@@ -1622,11 +1798,12 @@ impl MultiDriver {
         // window w while ring j + 1 receives its handoff — windows close as
         // soon as every active ring can decode, and handoff slots collapse
         // to one probe when the receiving roots already hold the batch.
+        let mut retries_exhausted = false;
         for w in 0..self.plan.window_count() {
-            if self.done() {
+            if self.done() || retries_exhausted {
                 break;
             }
-            self.window(
+            let _ = self.window(
                 self.plan.window_budget,
                 MultiProbe::WindowUninformed { window: w },
                 false,
@@ -1636,13 +1813,67 @@ impl MultiDriver {
             if self.done() {
                 break;
             }
-            self.window(
-                self.plan.handoff_budget,
-                MultiProbe::HandoffPending { window: w },
-                true,
-                |offset| GhkMultiPhase::Handoff { window: w, offset },
-                |p| &mut p.handoff,
-            );
+            // Faulted runs drive the handoff repair rate from the *measured*
+            // per-copy erasure rate instead of the configured knob, echoing
+            // it to the nodes only when it changes (never on clean channels,
+            // where `effective_repair` is the identity).
+            if self.recovery {
+                let s = self.sim.stats();
+                let eff = effective_repair(self.fec_repair, s.erased, s.deliveries);
+                if eff != self.fec_echoed {
+                    self.fec_echoed = eff;
+                    for i in 0..self.sim.nodes().len() {
+                        self.sim.node_mut(NodeId::new(i)).set_fec_repair(eff);
+                    }
+                }
+            }
+            // Handoff with retry-and-backoff: a handoff window that exhausts
+            // its budget while the receiving roots still beep is a *failed*
+            // handoff — re-publish it with a doubled budget (drawn from the
+            // worst-case pool) instead of advancing into a dead window.
+            // Retries exhausting sends the run straight to the fallback,
+            // conserving the remaining budget.
+            let mut budget = self.plan.handoff_budget;
+            let mut attempt = 0u32;
+            loop {
+                let end = self.window(
+                    budget,
+                    MultiProbe::HandoffPending { window: w },
+                    true,
+                    |offset| GhkMultiPhase::Handoff { window: w, offset },
+                    |p| &mut p.handoff,
+                );
+                if end == WindowEnd::Quiesced || !self.recovery {
+                    break;
+                }
+                if attempt >= HANDOFF_RETRIES {
+                    retries_exhausted = true;
+                    break;
+                }
+                attempt += 1;
+                budget = (budget * 2).min(self.budget_left());
+                if budget == 0 {
+                    retries_exhausted = true;
+                    break;
+                }
+                self.sim.stats_mut().retries += 1;
+            }
+        }
+        // No-knowledge Decay fallback (the Czumaj–Davies regime): armed only
+        // on faulted runs whose pipeline failed — retries exhausted or nodes
+        // still missing batches after every window. Holders flood fountain
+        // packets ring-agnostically, bounded by the remaining worst-case
+        // budget; stranded nodes (no ring, no labels) finally participate.
+        // True to the no-knowledge regime, there are no status beeps here:
+        // a vote the faults corrupt must not silence the last-resort phase,
+        // so only the delivery-gated completion scan (or the cap) ends it.
+        if self.recovery && !self.done() {
+            let left = self.budget_left();
+            if left > 0 {
+                let run = self.exec_segment(GhkMultiPhase::Fallback { offset: 0 }, left);
+                self.phases.fallback += run;
+                self.sim.stats_mut().fallback_rounds += run;
+            }
         }
         // End-of-run echo: harvest every pending decoder into its slot.
         for i in 0..self.sim.nodes().len() {
@@ -1826,6 +2057,7 @@ pub fn broadcast_unknown_faulted(
         .with_pacing(opts.pacing)
         .with_fec_repair(opts.fec_repair)
     });
+    let recovery = sim.has_faults();
     MultiDriver {
         sim,
         step,
@@ -1836,6 +2068,9 @@ pub fn broadcast_unknown_faulted(
         label_status_left: plan.label_status,
         phases: MultiPhaseRounds::default(),
         completion: None,
+        recovery,
+        fec_repair: opts.fec_repair,
+        fec_echoed: opts.fec_repair,
     }
     .run()
 }

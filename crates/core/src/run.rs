@@ -261,6 +261,8 @@ pub struct Phases {
     pub disseminate: u64,
     /// Inter-ring handoff work rounds.
     pub handoff: u64,
+    /// No-knowledge Decay fallback rounds (faulted adaptive runs only).
+    pub fallback: u64,
     /// Status-beep rounds of the adaptive drivers.
     pub status: u64,
 }
@@ -268,7 +270,13 @@ pub struct Phases {
 impl Phases {
     /// Total rounds executed.
     pub fn total(&self) -> u64 {
-        self.wave + self.construct + self.label + self.disseminate + self.handoff + self.status
+        self.wave
+            + self.construct
+            + self.label
+            + self.disseminate
+            + self.handoff
+            + self.fallback
+            + self.status
     }
 }
 
@@ -278,16 +286,16 @@ impl From<PhaseRounds> for Phases {
         // pipeline accounting without mapping it here must not compile, or
         // the `phases.total() == stats.rounds` invariant would silently
         // break for facade callers.
-        let PhaseRounds { wave, construct, broadcast, handoff, status } = p;
-        Phases { wave, construct, label: 0, disseminate: broadcast, handoff, status }
+        let PhaseRounds { wave, construct, broadcast, handoff, fallback, status } = p;
+        Phases { wave, construct, label: 0, disseminate: broadcast, handoff, fallback, status }
     }
 }
 
 impl From<MultiPhaseRounds> for Phases {
     fn from(p: MultiPhaseRounds) -> Self {
         // Exhaustive destructuring, same rationale as above.
-        let MultiPhaseRounds { wave, construct, label, disseminate, handoff, status } = p;
-        Phases { wave, construct, label, disseminate, handoff, status }
+        let MultiPhaseRounds { wave, construct, label, disseminate, handoff, fallback, status } = p;
+        Phases { wave, construct, label, disseminate, handoff, fallback, status }
     }
 }
 
@@ -794,21 +802,25 @@ mod tests {
 
     #[test]
     fn phases_roundtrip_from_both_pipelines() {
-        let single = PhaseRounds { wave: 1, construct: 2, broadcast: 3, handoff: 4, status: 5 };
+        let single =
+            PhaseRounds { wave: 1, construct: 2, broadcast: 3, handoff: 4, fallback: 6, status: 5 };
         let p: Phases = single.into();
         assert_eq!(p.total(), single.total());
         assert_eq!(p.disseminate, 3);
+        assert_eq!(p.fallback, 6);
         let multi = MultiPhaseRounds {
             wave: 1,
             construct: 2,
             label: 3,
             disseminate: 4,
             handoff: 5,
+            fallback: 7,
             status: 6,
         };
         let p: Phases = multi.into();
         assert_eq!(p.total(), multi.total());
         assert_eq!(p.label, 3);
+        assert_eq!(p.fallback, 7);
     }
 
     #[test]

@@ -58,8 +58,8 @@
 //! run — `tests/regression_rounds.rs` asserts it.
 
 use crate::adaptive::{
-    answer_cons_probe, cons_status_budget, drive_construction, Advance, ConsDriver, ConsProbe,
-    Pacing, Segment,
+    answer_cons_probe, cons_status_budget, drive_construction, vote_quiet, Advance, ConsDriver,
+    ConsProbe, Pacing, Segment, WindowEnd, HANDOFF_RETRIES,
 };
 use crate::construction::{ConstructionSchedule, GstConstructionNode, GstMsg};
 use crate::decay::DecaySchedule;
@@ -137,6 +137,14 @@ pub enum PhasePos {
         /// Round within the window.
         offset: u64,
     },
+    /// No-knowledge Decay fallback work round (Czumaj–Davies regime): every
+    /// holder floods the payload on the Decay schedule, every node adopts it
+    /// ring-agnostically. Armed by the driver only on faulted runs whose
+    /// phase machinery failed (retries exhausted or pipeline incomplete).
+    Fallback {
+        /// Round within the fallback phase.
+        offset: u64,
+    },
 }
 
 impl Advance for PhasePos {
@@ -150,6 +158,7 @@ impl Advance for PhasePos {
             PhasePos::Handoff { ring, offset } => {
                 PhasePos::Handoff { ring, offset: offset + delta }
             }
+            PhasePos::Fallback { offset } => PhasePos::Fallback { offset: offset + delta },
         }
     }
 }
@@ -174,6 +183,10 @@ pub enum Probe {
         /// The *receiving* ring.
         ring: u32,
     },
+    /// Fallback phase: "any node still missing the message?" — ring state is
+    /// deliberately ignored, so nodes the faulted wave stranded (no layer, no
+    /// ring) still answer.
+    Uninformed,
 }
 
 /// The shared per-round directive: what kind of round the pipeline is in.
@@ -434,6 +447,7 @@ impl Ghk1Node {
                 self.ensure_ring();
                 self.ring == Some((ring, 0)) && !self.has_message()
             }
+            Probe::Uninformed => !self.has_message(),
             Probe::Cons(p) => {
                 self.ensure_cons();
                 let Some(c) = self.cons.as_mut() else { return false };
@@ -505,6 +519,17 @@ impl Ghk1Node {
                 // pending-harvest case — schedule decodable but `message`
                 // not yet extracted — is covered by `has_message`).
                 if outer && self.has_message() {
+                    Wake::Now
+                } else {
+                    sleep
+                }
+            }
+            PhasePos::Fallback { .. } => {
+                // Holders sample Decay every round; everyone else sleeps
+                // until a payload delivery re-wakes them (observation marks
+                // the node dirty, so an adopting node starts flooding on its
+                // next round).
+                if self.has_message() {
                     Wake::Now
                 } else {
                     sleep
@@ -621,6 +646,17 @@ impl Protocol for Ghk1Node {
                     }
                 }
             }
+            PhasePos::Fallback { .. } => {
+                // Ring-agnostic adoption: the whole point of the fallback is
+                // reaching nodes the faulted setup phases left without a ring.
+                if self.message.is_none() {
+                    if let Observation::Message(p) = &obs {
+                        if let Ghk1Msg::Handoff(m) = &**p {
+                            self.message = Some(*m);
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -684,6 +720,15 @@ impl Ghk1Node {
                 }
                 Action::Listen
             }
+            PhasePos::Fallback { offset } => {
+                self.harvest();
+                if let Some(m) = self.message {
+                    if self.decay.fires(offset, rng) {
+                        return Action::Transmit(Ghk1Msg::Handoff(m));
+                    }
+                }
+                Action::Listen
+            }
         }
     }
 }
@@ -701,6 +746,9 @@ pub struct PhaseRounds {
     pub broadcast: u64,
     /// Inter-ring handoff work rounds, summed over handoffs.
     pub handoff: u64,
+    /// No-knowledge fallback work rounds (0 unless the driver armed the
+    /// recovery flood on a faulted run).
+    pub fallback: u64,
     /// Status-beep rounds, all phases.
     pub status: u64,
 }
@@ -708,7 +756,7 @@ pub struct PhaseRounds {
 impl PhaseRounds {
     /// Total rounds executed.
     pub fn total(&self) -> u64 {
-        self.wave + self.construct + self.broadcast + self.handoff + self.status
+        self.wave + self.construct + self.broadcast + self.handoff + self.fallback + self.status
     }
 
     /// One-time setup cost (layering + GST construction work rounds).
@@ -746,6 +794,10 @@ struct Driver {
     cons_status_left: u64,
     phases: PhaseRounds,
     completion: Option<u64>,
+    /// Whether the recovery paths (status voting, handoff retry, fallback)
+    /// are armed — true exactly when the simulator carries a fault plan, so
+    /// `FaultPlan::none()` runs stay bit-identical by construction.
+    recovery: bool,
 }
 
 impl Driver {
@@ -798,45 +850,81 @@ impl Driver {
         self.completion.is_some()
     }
 
-    /// Runs one status round; `true` iff the channel stayed silent.
+    /// Runs one status round; `true` iff the probe quiesced.
+    ///
+    /// On a fault-free run the verdict is the single-round channel census
+    /// ("did anybody transmit?") — bit-identical to the pre-voting driver.
+    /// With faults armed, a fault-touched read is demoted to the channel's
+    /// listener-side rendering and majority-voted over a small window of
+    /// re-probes (see [`vote_quiet`]); consuming probes (the take-style
+    /// wave-progress and new-activation reads) are never re-probed.
     fn quiet(&mut self, probe: Probe) -> bool {
         self.phases.status += 1;
-        self.exec(Step::Status(probe)).transmitters == 0
+        let first = self.exec(Step::Status(probe));
+        if !self.recovery {
+            return first.transmitters == 0;
+        }
+        let votable = !matches!(probe, Probe::WaveProgress | Probe::Cons(ConsProbe::NewActivation));
+        let v = vote_quiet(first, votable, || {
+            self.phases.status += 1;
+            // Extra vote rounds stay charged against the construction status
+            // budget, so the skip loop's round accounting cannot outgrow its
+            // cap just because votes fired.
+            if matches!(probe, Probe::Cons(_)) {
+                self.cons_status_left = self.cons_status_left.saturating_sub(1);
+            }
+            self.exec(Step::Status(probe))
+        });
+        if v.overturned {
+            self.sim.stats_mut().votes_overturned += 1;
+        }
+        v.quiet
+    }
+
+    /// Rounds left under the plan's worst-case cap — the pool the recovery
+    /// paths (handoff retries, the fallback flood) may draw from without
+    /// breaking the `completion <= total_rounds` guarantee.
+    fn budget_left(&self) -> u64 {
+        self.plan.total_rounds().saturating_sub(self.sim.round())
     }
 
     /// One adaptive open-ended window: a `beep_interval`-round work segment,
     /// one status round, until the probe has stayed quiet for
     /// `quiescence_slack` consecutive status rounds or `budget` (work +
-    /// status rounds) is exhausted. The wave, broadcast and handoff phases
-    /// all share this loop.
+    /// status rounds, including any vote re-probes) is exhausted. The wave,
+    /// broadcast, handoff and fallback phases all share this loop.
     fn window(
         &mut self,
         budget: u64,
         probe: Probe,
         pos_at: impl Fn(u64) -> PhasePos,
         count: fn(&mut PhaseRounds) -> &mut u64,
-    ) {
+    ) -> WindowEnd {
         let slack = self.quiescence_slack.max(1);
+        let start = self.sim.round();
         let mut offset = 0u64;
-        let mut spent = 0u64;
         let mut quiet_streak = 0u32;
-        while spent < budget && !self.done() {
-            let run = self.exec_segment(pos_at(offset), self.beep.min(budget - spent));
+        let spent = |sim: &Simulator<Ghk1Node>| sim.round() - start;
+        while spent(&self.sim) < budget && !self.done() {
+            let run = self.exec_segment(pos_at(offset), self.beep.min(budget - spent(&self.sim)));
             *count(&mut self.phases) += run;
             offset += run;
-            spent += run;
-            if spent >= budget || self.done() {
-                return;
+            if spent(&self.sim) >= budget || self.done() {
+                break;
             }
-            spent += 1;
             if self.quiet(probe) {
                 quiet_streak += 1;
                 if quiet_streak >= slack {
-                    return;
+                    return WindowEnd::Quiesced;
                 }
             } else {
                 quiet_streak = 0;
             }
+        }
+        if self.done() {
+            WindowEnd::Quiesced
+        } else {
+            WindowEnd::Exhausted
         }
     }
 
@@ -856,7 +944,7 @@ impl Driver {
         if !self.done() {
             // Phase 1: the collision wave, closed `quiescence_slack` silent
             // status rounds after the frontier stops advancing.
-            self.window(
+            let _ = self.window(
                 self.plan.wave_budget,
                 Probe::WaveProgress,
                 |offset| PhasePos::Wave { offset },
@@ -875,23 +963,65 @@ impl Driver {
         for i in 0..self.sim.nodes().len() {
             self.sim.node_mut(NodeId::new(i)).finalize_construction();
         }
+        let mut retries_exhausted = false;
         for ring in 0..self.plan.ring_count {
-            if self.done() {
+            if self.done() || retries_exhausted {
                 break;
             }
-            self.window(
+            let _ = self.window(
                 self.plan.bcast_window,
                 Probe::RingUninformed { ring },
                 |offset| PhasePos::Broadcast { ring, offset },
                 |p| &mut p.broadcast,
             );
             if ring + 1 < self.plan.ring_count && !self.done() {
-                self.window(
-                    self.plan.handoff_window,
-                    Probe::RootsUninformed { ring: ring + 1 },
-                    |offset| PhasePos::Handoff { ring, offset },
-                    |p| &mut p.handoff,
-                );
+                // Handoff with retry-and-backoff: a window that exhausts its
+                // budget while the receiving roots still beep is a *failed*
+                // handoff — re-publish it with a doubled budget (drawn from
+                // the worst-case pool) instead of advancing the cursor into
+                // a dead phase. Retries exhausting sends the run straight to
+                // the no-knowledge fallback, preserving the remaining budget.
+                let mut budget = self.plan.handoff_window;
+                let mut attempt = 0u32;
+                loop {
+                    let end = self.window(
+                        budget,
+                        Probe::RootsUninformed { ring: ring + 1 },
+                        |offset| PhasePos::Handoff { ring, offset },
+                        |p| &mut p.handoff,
+                    );
+                    if end == WindowEnd::Quiesced || !self.recovery {
+                        break;
+                    }
+                    if attempt >= HANDOFF_RETRIES {
+                        retries_exhausted = true;
+                        break;
+                    }
+                    attempt += 1;
+                    budget = (budget * 2).min(self.budget_left());
+                    if budget == 0 {
+                        retries_exhausted = true;
+                        break;
+                    }
+                    self.sim.stats_mut().retries += 1;
+                }
+            }
+        }
+
+        // No-knowledge Decay fallback (the Czumaj–Davies regime): armed only
+        // on faulted runs whose phase machinery failed — retries exhausted or
+        // the pipeline ended with uninformed nodes. Every holder floods the
+        // payload on the Decay schedule and every node adopts it without any
+        // ring bookkeeping, bounded by what remains of the worst-case cap.
+        // True to the no-knowledge regime, there are no status beeps here:
+        // a vote the faults corrupt must not silence the last-resort phase,
+        // so only the delivery-gated completion scan (or the cap) ends it.
+        if self.recovery && !self.done() {
+            let left = self.budget_left();
+            if left > 0 {
+                let run = self.exec_segment(PhasePos::Fallback { offset: 0 }, left);
+                self.phases.fallback += run;
+                self.sim.stats_mut().fallback_rounds += run;
             }
         }
 
@@ -1014,6 +1144,7 @@ pub fn broadcast_single_faulted(
         Ghk1Node::new(params, plan, Rc::clone(&step), id.raw(), (id == source).then_some(payload))
             .with_pacing(pacing)
     });
+    let recovery = sim.has_faults();
     Driver {
         sim,
         step,
@@ -1023,6 +1154,7 @@ pub fn broadcast_single_faulted(
         cons_status_left: plan.cons_status,
         phases: PhaseRounds::default(),
         completion: None,
+        recovery,
     }
     .run()
 }

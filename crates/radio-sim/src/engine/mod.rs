@@ -829,6 +829,19 @@ impl<P: Protocol> Simulator<P> {
         &self.stats
     }
 
+    /// Mutable access to the aggregate statistics, for driver-level recovery
+    /// accounting ([`RunStats::retries`], [`RunStats::votes_overturned`],
+    /// [`RunStats::fallback_rounds`]) that has no per-round channel event to
+    /// be absorbed from.
+    pub fn stats_mut(&mut self) -> &mut RunStats {
+        &mut self.stats
+    }
+
+    /// Whether a non-empty [`FaultPlan`] is installed on this simulator.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
     /// All node states, indexed by node id.
     pub fn nodes(&self) -> &[P] {
         &self.nodes

@@ -57,6 +57,17 @@ pub struct RunStats {
     pub jammed: u64,
     /// Total topology fault events (churn toggles + mobility re-samples).
     pub churn_events: u64,
+    /// Phase handoffs an adaptive driver re-published with backoff after
+    /// their confirmation window exhausted. Driver-recorded (no per-round
+    /// channel event backs it); 0 without a fault plan.
+    pub retries: u64,
+    /// Status-round verdicts an adaptive driver's majority vote overturned
+    /// relative to the single-round decision. Driver-recorded; 0 without a
+    /// fault plan.
+    pub votes_overturned: u64,
+    /// Rounds an adaptive driver spent in its no-knowledge Decay fallback
+    /// phase. Driver-recorded; 0 without a fault plan.
+    pub fallback_rounds: u64,
 }
 
 impl RunStats {
@@ -103,7 +114,15 @@ impl fmt::Display for RunStats {
             self.deliveries,
             self.collisions,
             self.delivery_ratio()
-        )
+        )?;
+        if self.retries + self.votes_overturned + self.fallback_rounds > 0 {
+            write!(
+                f,
+                ", recovery: {} retries, {} votes overturned, {} fallback rounds",
+                self.retries, self.votes_overturned, self.fallback_rounds
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -10,7 +10,14 @@ scenario descriptor (topology label, workload kind, seed, and, since the
 fault layer landed in schema 3, the fault-plan label) or any required field
 is missing or drifts from the pinned declaration. Schema 3 also requires the
 fault counters (`erased`/`jammed`/`churn_events`) on every entry and pins a
-lossy `multi_unknown` run whose erasure must actually have fired.
+lossy `multi_unknown` run whose erasure must actually have fired. Schema 4
+(the recovery layer) adds the recovery counters
+(`retries`/`votes_overturned`/`fallback_rounds`) to every entry, pins a
+degraded-corridor run under heavy erasure, requires every faulted entry to
+show fault *or* recovery activity, and requires the degraded corridor
+specifically to have exercised the recovery machinery (nonzero retries or
+fallback rounds) — a faulted bench whose recovery layer never fires is the
+fault-blindness bug this schema exists to catch.
 
 Usage: python3 scripts/check_bench.py [path/to/BENCH_pipeline.json]
 """
@@ -18,9 +25,9 @@ Usage: python3 scripts/check_bench.py [path/to/BENCH_pipeline.json]
 import json
 import sys
 
-EXPECTED_SCHEMA = 3
+EXPECTED_SCHEMA = 4
 
-# Every field each pipeline entry must carry (schema 3).
+# Every field each pipeline entry must carry (schema 4).
 REQUIRED_ENTRY_FIELDS = (
     "name",
     "scenario",
@@ -35,6 +42,9 @@ REQUIRED_ENTRY_FIELDS = (
     "erased",
     "jammed",
     "churn_events",
+    "retries",
+    "votes_overturned",
+    "fallback_rounds",
 )
 REQUIRED_SCENARIO_FIELDS = ("topology", "workload", "seed", "faults")
 
@@ -73,7 +83,20 @@ EXPECTED_SCENARIOS = {
         "seed": 11,
         "faults": "erase(0.05)",
     },
+    "e1_degraded_corridor": {
+        "topology": "cluster_chain(20x6)",
+        "workload": "single",
+        "seed": 1,
+        "faults": "erase(0.2)",
+    },
 }
+
+# Faulted entries that must show nonzero *recovery-counter* activity
+# (retries or fallback rounds): scenarios harsh enough that a clean-looking
+# run means the recovery layer silently failed to engage. Lightly faulted
+# entries (e.g. 5% erasure) may legitimately recover through voting and
+# fec-rate adaptation alone without tripping these counters.
+MUST_EXERCISE_RECOVERY = ("e1_degraded_corridor",)
 
 # Round budgets for the bench's fixed seeds; generous versions of the pins in
 # tests/regression_rounds.rs (which sweep several seeds).
@@ -83,6 +106,7 @@ ROUND_BUDGETS = {
     "multi_telemetry_backhaul": 7_000,
     "multi_firmware_grid": 12_500,
     "multi_lossy_telemetry": 7_000,
+    "e1_degraded_corridor": 12_000,
 }
 
 # Exact round counts at the bench's fixed seeds. Runs are deterministic, so
@@ -95,7 +119,10 @@ EXPECTED_ROUNDS = {
     "e2_unit_disk_single": 2_146,
     "multi_telemetry_backhaul": 3_308,
     "multi_firmware_grid": 5_011,
-    "multi_lossy_telemetry": 3_366,
+    # Down from 3366: the measured-erasure fec-repair adaptation and the
+    # erasure-asymmetry voting shortcut landed together (recovery PR).
+    "multi_lossy_telemetry": 3_267,
+    "e1_degraded_corridor": 6_060,
 }
 
 MIN_MICROBENCH_SPEEDUP = 50.0
@@ -149,16 +176,32 @@ def check_entry(entry, failures):
             f"cap {entry['cap']}"
         )
     faults = scenario.get("faults", "none")
+    fault_activity = entry["erased"] + entry["jammed"] + entry["churn_events"]
+    recovery_activity = (
+        entry["retries"] + entry["votes_overturned"] + entry["fallback_rounds"]
+    )
     if "erase(" in faults and entry["erased"] <= 0:
         failures.append(
             f"{name}: declares erasure ({faults}) but erased == 0 — "
             "the fault layer never fired"
         )
-    if faults == "none" and (
-        entry["erased"] or entry["jammed"] or entry["churn_events"]
+    if faults != "none" and fault_activity + recovery_activity == 0:
+        failures.append(
+            f"{name}: faulted entry ({faults}) reports zero fault and "
+            "recovery activity — the run was effectively fault-free"
+        )
+    if name in MUST_EXERCISE_RECOVERY and (
+        entry["retries"] + entry["fallback_rounds"] == 0
     ):
         failures.append(
-            f"{name}: fault-free entry reports nonzero fault counters"
+            f"{name}: degraded entry never exercised the recovery "
+            "machinery (retries == 0 and fallback_rounds == 0) — the "
+            "pipeline is fault-blind again"
+        )
+    if faults == "none" and fault_activity + recovery_activity:
+        failures.append(
+            f"{name}: fault-free entry reports nonzero fault or "
+            "recovery counters"
         )
 
 

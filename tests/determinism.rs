@@ -5,11 +5,11 @@
 use broadcast::adaptive::Pacing;
 use broadcast::decay::{DecayBroadcast, DecayMsg, MmvDecayBroadcast};
 use broadcast::multi_message::{
-    broadcast_known, broadcast_unknown, broadcast_unknown_with, BatchMode, GhkMultiNode,
-    GhkMultiPlan, KnownRunOpts, MultiRunOpts,
+    broadcast_known, broadcast_unknown, broadcast_unknown_faulted, broadcast_unknown_with,
+    BatchMode, GhkMultiNode, GhkMultiPlan, KnownRunOpts, MultiRunOpts,
 };
 use broadcast::single_message::{
-    broadcast_single, broadcast_single_in_mode, broadcast_single_with,
+    broadcast_single, broadcast_single_faulted, broadcast_single_in_mode, broadcast_single_with,
 };
 use broadcast::{Params, Scenario, TopologySpec, Workload};
 use radio_sim::graph::{generators, Traversal};
@@ -240,15 +240,17 @@ fn multi_segment_pacing_equals_per_step_across_modes_and_seeds() {
 fn faulted_runs_replay_identically_across_modes_and_seeds() {
     // Fault randomness comes from its own salted streams of the master
     // seed, so a faulted run is as pure a function of (scenario, seed) as a
-    // clean one: the full RunStats — channel trace *and* the erased /
-    // jammed / churn_events fault counters — must replay exactly, for both
-    // collision modes, under each fault class.
+    // clean one: the full RunStats — channel trace, the erased / jammed /
+    // churn_events fault counters, *and* the driver-recorded recovery
+    // counters (retries, votes_overturned, fallback_rounds) — must replay
+    // exactly, for both collision modes, under each fault class.
     let spec = TopologySpec::ClusterChain { clusters: 4, size: 4 };
     let plans = [
         ("erasure", FaultPlan::none().with_erasure(0.15)),
         ("jammer", FaultPlan::none().with_jammer(5, 3, 1)),
         ("churn", FaultPlan::none().with_churn(2, 0.01, 0.05)),
     ];
+    let mut recovery_fired = false;
     for (class, plan) in &plans {
         for mode in [CollisionMode::Detection, CollisionMode::NoDetection] {
             for seed in 0..4u64 {
@@ -275,9 +277,102 @@ fn faulted_runs_replay_identically_across_modes_and_seeds() {
                     _ => a.stats.churn_events,
                 };
                 assert!(fired > 0, "{class} never fired ({mode:?}, seed {seed}): {:?}", a.stats);
+                recovery_fired |=
+                    a.stats.retries + a.stats.votes_overturned + a.stats.fallback_rounds > 0;
             }
         }
     }
+    assert!(recovery_fired, "no run in the sweep exercised the recovery machinery");
+}
+
+#[test]
+fn single_recovery_segment_pacing_equals_per_step() {
+    // The recovery machinery (status-beep voting, handoff retries, the
+    // no-knowledge fallback) runs through the same segment scheduler as the
+    // clean pipeline, so the wake fast path must replay the per-step faulted
+    // run exactly — through the fallback transition — with identical
+    // recovery counters.
+    let g = generators::cluster_chain(4, 5);
+    let params = Params::scaled(20);
+    let plan = FaultPlan::none().with_jammer(5, 3, 1).with_erasure(0.15);
+    let mut recovery_fired = false;
+    for seed in 0..4u64 {
+        let run = |pacing| {
+            broadcast_single_faulted(
+                &g,
+                NodeId::new(0),
+                9,
+                &params,
+                seed,
+                CollisionMode::Detection,
+                pacing,
+                &plan,
+            )
+        };
+        let (seg, step) = (run(Pacing::Segment), run(Pacing::PerStep));
+        assert_eq!(
+            seg.completion_round, step.completion_round,
+            "completion diverged (seed {seed})"
+        );
+        assert_eq!(
+            paced_semantic(&seg.stats),
+            paced_semantic(&step.stats),
+            "trace diverged (seed {seed})"
+        );
+        assert_eq!(seg.phases, step.phases, "phase accounting diverged (seed {seed})");
+        assert_eq!(
+            (seg.stats.retries, seg.stats.votes_overturned, seg.stats.fallback_rounds),
+            (step.stats.retries, step.stats.votes_overturned, step.stats.fallback_rounds),
+            "recovery counters diverged (seed {seed})"
+        );
+        recovery_fired |=
+            seg.stats.retries + seg.stats.votes_overturned + seg.stats.fallback_rounds > 0;
+    }
+    assert!(recovery_fired, "no seed exercised the recovery machinery");
+}
+
+#[test]
+fn multi_recovery_segment_pacing_equals_per_step() {
+    // Same invariant for the Theorem 1.3 pipeline, with the measured-erasure
+    // fec-repair adaptation active on a lossy channel.
+    let g = generators::cluster_chain(4, 5);
+    let params = Params::scaled(20);
+    let msgs: Vec<BitVec> = (0..3u64).map(|i| BitVec::from_u64(i * 7 + 1, 16)).collect();
+    let plan = FaultPlan::none().with_erasure(0.15);
+    let opts = MultiRunOpts::new(BatchMode::FullK).with_fec_repair(2);
+    let mut recovery_fired = false;
+    for seed in 0..4u64 {
+        let run = |pacing| {
+            broadcast_unknown_faulted(
+                &g,
+                NodeId::new(0),
+                &msgs,
+                &params,
+                seed,
+                opts.with_pacing(pacing),
+                &plan,
+            )
+        };
+        let (seg, step) = (run(Pacing::Segment), run(Pacing::PerStep));
+        assert_eq!(
+            seg.completion_round, step.completion_round,
+            "completion diverged (seed {seed})"
+        );
+        assert_eq!(
+            paced_semantic(&seg.stats),
+            paced_semantic(&step.stats),
+            "trace diverged (seed {seed})"
+        );
+        assert_eq!(seg.phases, step.phases, "phase accounting diverged (seed {seed})");
+        assert_eq!(
+            (seg.stats.retries, seg.stats.votes_overturned, seg.stats.fallback_rounds),
+            (step.stats.retries, step.stats.votes_overturned, step.stats.fallback_rounds),
+            "recovery counters diverged (seed {seed})"
+        );
+        recovery_fired |=
+            seg.stats.retries + seg.stats.votes_overturned + seg.stats.fallback_rounds > 0;
+    }
+    assert!(recovery_fired, "no seed exercised the recovery machinery");
 }
 
 #[test]

@@ -14,16 +14,19 @@
 //!   pinned (runs are deterministic, so any drift is a semantic change);
 //!   cap-outs are recorded as `None` through the [`SeedMatrix`].
 //!
-//! The finding these pins freeze: on the shallow grid the adaptive
-//! Theorem 1.1 pipeline completes **wherever Decay completes** under
-//! erasure (and mostly under churn), within its worst-case cap — while on
-//! the deep corridor every fault class breaks the pipeline's phase
-//! machinery (erasure and jamming corrupt the collision/silence signals its
-//! layering, status beeps and handoffs feed on, and the long dependency
-//! chain gives 20 clusters a chance to stall), whereas Decay merely slows
-//! down. Collision detection buys round-complexity on a clean channel at
-//! the price of fragility on an adversarial one — the trade-off the fault
-//! layer exists to measure.
+//! The finding these pins freeze: with the recovery machinery (status-beep
+//! majority voting, handoff retry with backoff, and the no-knowledge Decay
+//! fallback) the adaptive Theorem 1.1 pipeline now completes on **every**
+//! seed of **every** fault class on both topologies, within its worst-case
+//! cap. Faults still corrupt the collision/silence signals the phase
+//! machinery feeds on — which is why the faulted runs land one to two
+//! orders of magnitude above Decay (which merely slows down) — but they no
+//! longer strand the run: a failed handoff is retried with a doubled
+//! budget, and when retries exhaust the run drops into bounded
+//! Czumaj–Davies-style flooding that reaches the nodes the pipeline lost.
+//! Collision detection's clean-channel round-complexity still costs
+//! resilience; the recovery layer caps that cost at degradation instead of
+//! failure.
 
 use broadcast::multi_message::BatchMode;
 use broadcast::{Algo, Scenario, SeedMatrix, TopologySpec, Workload};
@@ -100,97 +103,135 @@ fn churn1pct() -> FaultPlan {
 }
 
 // ---------------------------------------------------------------------------
-// Corridor: the adaptive pipeline caps out under every fault class (its
-// collision-driven phase machinery is corrupted); Decay only slows down.
+// Corridor: before the recovery layer, every fault class capped the deep
+// 20-cluster pipeline out (all pins were `None`); now voting, handoff
+// retries and the Decay fallback carry every seed to bounded completion.
 // ---------------------------------------------------------------------------
 
 #[test]
-fn corridor_degrades_under_light_erasure() {
-    pin_degradation(corridor(), erase05(), [None, None, None], [Some(157), Some(157), Some(163)]);
+fn corridor_recovers_under_light_erasure() {
+    pin_degradation(
+        corridor(),
+        erase05(),
+        [Some(2144), Some(5780), Some(3787)],
+        [Some(157), Some(157), Some(163)],
+    );
 }
 
 #[test]
-fn corridor_degrades_under_heavy_erasure() {
-    pin_degradation(corridor(), erase20(), [None, None, None], [Some(199), Some(169), Some(169)]);
+fn corridor_recovers_under_heavy_erasure() {
+    pin_degradation(
+        corridor(),
+        erase20(),
+        [Some(6060), Some(5031), Some(5993)],
+        [Some(199), Some(169), Some(169)],
+    );
 }
 
 #[test]
-fn corridor_degrades_under_one_jammer() {
+fn corridor_recovers_under_one_jammer() {
     pin_degradation(
         corridor(),
         one_jammer(),
-        [None, None, None],
+        [Some(4283), Some(4333), Some(4310)],
         [Some(149), Some(148), Some(148)],
     );
 }
 
 #[test]
-fn corridor_degrades_under_churn() {
+fn corridor_recovers_under_churn() {
     pin_degradation(
         corridor(),
         churn1pct(),
-        [None, None, None],
+        [Some(4342), Some(3691), Some(5157)],
         [Some(627), Some(218), Some(1255)],
     );
 }
 
 // ---------------------------------------------------------------------------
-// Grid: the adaptive pipeline survives erasure on every seed — completing
-// wherever Decay completes, within its worst-case cap — and survives churn
-// on 2 of 3 seeds. A persistent every-other-round jammer still breaks it.
+// Grid: erasure and churn already mostly spared the shallow grid; the
+// recovery layer closes the remaining gaps (the churn seed that used to cap
+// out, and the every-other-round jammer that used to break the pipeline).
 // ---------------------------------------------------------------------------
 
 #[test]
-fn grid_survives_light_erasure_wherever_decay_does() {
+fn grid_recovers_under_light_erasure() {
     pin_degradation(
         grid(),
         erase05(),
-        [Some(964), Some(3062), Some(2401)],
+        [Some(964), Some(4772), Some(2401)],
         [Some(29), Some(20), Some(32)],
     );
 }
 
 #[test]
-fn grid_survives_heavy_erasure_wherever_decay_does() {
+fn grid_recovers_under_heavy_erasure() {
     pin_degradation(
         grid(),
         erase20(),
-        [Some(1684), Some(1547), Some(3068)],
+        [Some(3408), Some(3199), Some(4788)],
         [Some(26), Some(32), Some(31)],
     );
 }
 
 #[test]
-fn grid_degrades_under_one_jammer() {
-    pin_degradation(grid(), one_jammer(), [None, None, None], [Some(44), Some(22), Some(44)]);
+fn grid_recovers_under_one_jammer() {
+    pin_degradation(
+        grid(),
+        one_jammer(),
+        [Some(4069), Some(4064), Some(4069)],
+        [Some(44), Some(22), Some(44)],
+    );
 }
 
 #[test]
-fn grid_mostly_survives_churn() {
+fn grid_recovers_under_churn() {
     pin_degradation(
         grid(),
         churn1pct(),
-        [Some(2566), None, Some(2422)],
+        [Some(2566), Some(3384), Some(2422)],
         [Some(25), Some(28), Some(38)],
     );
 }
 
-/// The acceptance headline in executable form: under both erasure levels on
-/// the grid, the adaptive pipeline completes on **every** seed where Decay
-/// completes, under the same fault plan and master seeds.
+/// The acceptance headline in executable form: under **each** fault class on
+/// **both** topologies, the adaptive pipeline completes on every seed where
+/// Decay completes (same fault plan, same master seeds), within its
+/// worst-case cap, and within 250× the paired Decay run — degradation with
+/// a bounded constant, not failure.
 #[test]
-fn adaptive_pipeline_completes_wherever_decay_does_under_grid_erasure() {
-    for plan in [erase05(), erase20()] {
-        let ghk = Scenario::new(grid(), Workload::Single { payload: 0xA1E57 })
-            .faults(plan.clone())
-            .seeds(1..4);
-        let decay = Scenario::new(grid(), Workload::Baseline(Algo::Decay { payload: 0xA1E57 }))
-            .round_cap(100_000)
-            .faults(plan.clone())
-            .seeds(1..4);
-        assert!(decay.all_completed(), "Decay failed under {}: {}", plan.label(), decay.report());
-        assert!(ghk.all_completed(), "GHK failed under {}: {}", plan.label(), ghk.report());
-        assert!(ghk.all_within_caps(), "a GHK run exceeded its cap under {}", plan.label());
+fn adaptive_pipeline_completes_within_250x_decay_under_every_fault_class() {
+    for spec in [corridor(), grid()] {
+        for plan in [erase05(), erase20(), one_jammer(), churn1pct()] {
+            let ghk = Scenario::new(spec.clone(), Workload::Single { payload: 0xA1E57 })
+                .faults(plan.clone())
+                .seeds(1..4);
+            let decay =
+                Scenario::new(spec.clone(), Workload::Baseline(Algo::Decay { payload: 0xA1E57 }))
+                    .round_cap(100_000)
+                    .faults(plan.clone())
+                    .seeds(1..4);
+            assert!(
+                decay.all_completed(),
+                "Decay failed under {}: {}",
+                plan.label(),
+                decay.report()
+            );
+            assert!(ghk.all_completed(), "GHK failed under {}: {}", plan.label(), ghk.report());
+            assert!(ghk.all_within_caps(), "a GHK run exceeded its cap under {}", plan.label());
+            for (g, d) in ghk.runs.iter().zip(&decay.runs) {
+                let (g_done, d_done) = (
+                    g.outcome.completion_round.expect("checked"),
+                    d.outcome.completion_round.expect("checked"),
+                );
+                assert!(
+                    g_done <= 250 * d_done,
+                    "seed {} under {}: GHK took {g_done} rounds vs Decay {d_done} (> 250x)",
+                    g.seed,
+                    plan.label()
+                );
+            }
+        }
     }
 }
 
