@@ -97,7 +97,8 @@ fn json_entry(out: &mut String, e: &Entry) {
          \"transmissions\": {}, \"deliveries\": {}, \"observe_skips\": {}, \
          \"act_skips\": {}, \"idle_fastforward\": {}, \
          \"erased\": {}, \"jammed\": {}, \"churn_events\": {}, \
-         \"retries\": {}, \"votes_overturned\": {}, \"fallback_rounds\": {}}}",
+         \"retries\": {}, \"votes_overturned\": {}, \"ring_repairs\": {}, \
+         \"regional_repairs\": {}, \"fallback_rounds\": {}}}",
         e.name,
         e.topology,
         e.workload,
@@ -116,6 +117,8 @@ fn json_entry(out: &mut String, e: &Entry) {
         e.stats.churn_events,
         e.stats.retries,
         e.stats.votes_overturned,
+        e.stats.ring_repairs,
+        e.stats.regional_repairs,
         e.stats.fallback_rounds,
     );
 }
@@ -175,9 +178,9 @@ fn main() {
         ),
         // The degraded corridor (schema 4): E1 under heavy erasure — the
         // scenario the recovery machinery exists for. Pre-recovery this run
-        // capped out; now voting, handoff retries and the Decay fallback
-        // carry it to bounded completion, and the recovery counters must be
-        // visibly nonzero (check_bench.py gates on it).
+        // capped out; since schema 5 the staged ladder repairs the failed
+        // ring locally before anything global, and check_bench.py gates on
+        // the ring_repairs counter being visibly nonzero.
         measure(
             "e1_degraded_corridor",
             Scenario::new(
@@ -187,6 +190,16 @@ fn main() {
             .seed(1)
             .faults(FaultPlan::none().with_erasure(0.2)),
         ),
+        // The mobile grid (schema 5): unit-disk positions re-sampled every
+        // 32 rounds, so the topology the pipeline learned during
+        // construction is repeatedly yanked away — the fault class that
+        // exercises the ladder's global rungs hardest.
+        measure(
+            "e3_degraded_mobile_grid",
+            Scenario::new(TopologySpec::Grid { w: 6, h: 6 }, Workload::Single { payload: 0xFEED })
+                .seed(1)
+                .faults(FaultPlan::none().with_mobility(0.35, 32)),
+        ),
     ];
 
     let (n, rounds) = (1_000_000, 300);
@@ -195,7 +208,7 @@ fn main() {
 
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"generated_by\": \"cargo bench --bench perf_pipeline\",");
-    let _ = writeln!(out, "  \"schema\": 4,");
+    let _ = writeln!(out, "  \"schema\": 5,");
     let _ = writeln!(out, "  \"entries\": [");
     for (i, e) in entries.iter().enumerate() {
         json_entry(&mut out, e);

@@ -107,8 +107,157 @@ pub enum WindowEnd {
 pub const VOTE_WINDOW: u32 = 3;
 
 /// Failed-handoff re-publications (with doubled budgets) before a driver
-/// gives up on the phase machinery and arms the no-knowledge fallback.
-pub const HANDOFF_RETRIES: u32 = 3;
+/// gives up on re-running the window verbatim and climbs the recovery
+/// [`Ladder`]. One retry: with a staged ladder behind it, a second verbatim
+/// re-run at 4–8× budget is strictly worse than a rung-1 ring-local repair —
+/// PR 7's deeper backoff (3 retries, 15× window total) existed only because
+/// the sole alternative was the global flood.
+pub const HANDOFF_RETRIES: u32 = 1;
+
+/// Shared bookkeeping of the staged recovery ladder.
+///
+/// When a handoff window exhausts its [`HANDOFF_RETRIES`], the drivers no
+/// longer jump straight to the no-knowledge Decay flood; they shed structure
+/// *incrementally* (the Czumaj–Davies regime of graceful operation with
+/// progressively less knowledge):
+///
+/// * **rung 1 — ring-local repair**: re-run only the failed ring's
+///   construction/dissemination with fresh budget, keeping every other
+///   ring's GST intact, then retry the handoff;
+/// * **rung 2 — regional re-dissemination**: a Decay flood confined to the
+///   failed ring ± 1, covering churn/mobility that moved the frontier out of
+///   the ring bookkeeping;
+/// * **rung 3 — the global no-knowledge flood**, reached only after rungs
+///   1–2 fail, with its entry round recorded.
+///
+/// The ladder enforces the rung order: the drivers gate each rung on the
+/// previous one having been attempted at least once in the run, so the
+/// recovery counters (`ring_repairs`, `regional_repairs`, `fallback_rounds`
+/// in `RunStats`) are monotone — a nonzero rung-3 count implies nonzero
+/// rung-2 and rung-1 counts. Like every recovery path it is armed only under
+/// a declared fault plan; `FaultPlan::none()` runs never touch it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Ladder {
+    ring_attempted: bool,
+    regional_attempted: bool,
+    fallback_entry: Option<u64>,
+}
+
+impl Ladder {
+    /// A ladder with no rungs climbed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a rung-1 (ring-local repair) attempt.
+    pub fn ring(&mut self) {
+        self.ring_attempted = true;
+    }
+
+    /// Records a rung-2 (regional re-dissemination) attempt.
+    pub fn regional(&mut self) {
+        debug_assert!(self.ring_attempted, "rung 2 armed before rung 1 was attempted");
+        self.regional_attempted = true;
+    }
+
+    /// Whether rung 1 has been attempted in this run.
+    pub fn ring_attempted(&self) -> bool {
+        self.ring_attempted
+    }
+
+    /// Whether rung 2 has been attempted in this run.
+    pub fn regional_attempted(&self) -> bool {
+        self.regional_attempted
+    }
+
+    /// Whether the global flood (rung 3) may be armed: both lower rungs have
+    /// been attempted.
+    pub fn may_fall_back(&self) -> bool {
+        self.ring_attempted && self.regional_attempted
+    }
+
+    /// Records the round the rung-3 flood entered (first arming wins).
+    pub fn arm_fallback(&mut self, round: u64) {
+        debug_assert!(self.may_fall_back(), "rung 3 armed before rungs 1-2 were attempted");
+        if self.fallback_entry.is_none() {
+            self.fallback_entry = Some(round);
+        }
+    }
+
+    /// The round the rung-3 flood entered, `None` if the run never fell
+    /// back.
+    pub fn fallback_entry(&self) -> Option<u64> {
+        self.fallback_entry
+    }
+}
+
+/// Number of recent dissemination-window samples the sliding-window erasure
+/// estimator averages over.
+pub const LOSS_WINDOW: usize = 4;
+
+/// Sliding-window erasure estimator driving the multi-message pipeline's
+/// handoff FEC repair rate.
+///
+/// PR 7 adapted the `fec_repair` knob to the *cumulative* erased/delivered
+/// totals, so the repair schedule ratcheted toward maximum aggression after
+/// any bursty interval and never relaxed. This estimator keeps the same
+/// gate-compression map ([`windowed_repair`]) but feeds it only the last
+/// [`LOSS_WINDOW`] per-window `(erased, delivered)` deltas, so a burst ages
+/// out of the estimate after `LOSS_WINDOW` clean windows and the repair
+/// schedule relaxes back to the configured knob.
+#[derive(Clone, Debug)]
+pub struct LossEstimator {
+    knob: u32,
+    samples: [(u64, u64); LOSS_WINDOW],
+    next: usize,
+    last: (u64, u64),
+}
+
+impl LossEstimator {
+    /// An estimator with configured repair ceiling `knob` and an empty
+    /// sample window.
+    pub fn new(knob: u32) -> Self {
+        LossEstimator { knob, samples: [(0, 0); LOSS_WINDOW], next: 0, last: (0, 0) }
+    }
+
+    /// Feeds the run's cumulative `(erased, delivered)` totals at a window
+    /// boundary; the delta since the previous call becomes one sample,
+    /// evicting the oldest. Returns the effective repair rate over the
+    /// refreshed window.
+    pub fn observe(&mut self, erased: u64, delivered: u64) -> u32 {
+        let delta = (erased.saturating_sub(self.last.0), delivered.saturating_sub(self.last.1));
+        self.last = (erased, delivered);
+        self.samples[self.next] = delta;
+        self.next = (self.next + 1) % LOSS_WINDOW;
+        self.effective()
+    }
+
+    /// The effective repair rate for the current window contents.
+    pub fn effective(&self) -> u32 {
+        let (erased, delivered) =
+            self.samples.iter().fold((0u64, 0u64), |(e, d), s| (e + s.0, d + s.1));
+        windowed_repair(self.knob, erased, delivered)
+    }
+}
+
+/// The gate-compression map from measured erasures to a handoff repair rate:
+/// halves `knob` (toward `1`, the most aggressive repair emission) per
+/// doubling of `erased` above ~1% of the observed traffic. Clean windows
+/// (`erased == 0`) and the paper's full-cycle gate (`knob == 0`) pass
+/// through untouched.
+pub fn windowed_repair(knob: u32, erased: u64, delivered: u64) -> u32 {
+    if knob == 0 || erased == 0 {
+        return knob;
+    }
+    let total = erased + delivered;
+    let mut gate = total.div_ceil(100).max(1);
+    let mut r = knob;
+    while r > 1 && erased >= gate {
+        r /= 2;
+        gate *= 2;
+    }
+    r
+}
 
 /// Whether a round's status read was touched by a channel-level fault (an
 /// erased packet copy or a jam injection) and its verdict is therefore
@@ -388,4 +537,69 @@ pub fn cons_status_budget(params: &crate::params::Params, cons: &ConstructionSch
     let per_rank_status =
         1 + u64::from(params.decay_phases) + u64::from(cons.epochs()) * per_epoch_status;
     u64::from(cons.d_bound) * u64::from(params.max_rank()) * per_rank_status
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_rungs_are_monotone() {
+        let mut l = Ladder::new();
+        assert!(!l.ring_attempted() && !l.regional_attempted() && !l.may_fall_back());
+        l.ring();
+        assert!(l.ring_attempted() && !l.may_fall_back());
+        l.regional();
+        assert!(l.may_fall_back());
+        assert_eq!(l.fallback_entry(), None);
+        l.arm_fallback(42);
+        assert_eq!(l.fallback_entry(), Some(42));
+        // First arming wins: a re-arm never rewrites the recorded entry.
+        l.arm_fallback(99);
+        assert_eq!(l.fallback_entry(), Some(42));
+    }
+
+    #[test]
+    fn windowed_repair_passthrough_cases() {
+        assert_eq!(windowed_repair(0, 500, 500), 0);
+        assert_eq!(windowed_repair(4, 0, 1000), 4);
+        // Below ~1% of traffic the knob is untouched.
+        assert_eq!(windowed_repair(4, 5, 995), 4);
+    }
+
+    #[test]
+    fn windowed_repair_compresses_per_doubling() {
+        // 10% erasure over 1000 copies: gate 10 -> 20 -> 40 -> 80 -> 160,
+        // erased 100 crosses 10/20/40/80, so an 8-knob halves to 1.
+        assert_eq!(windowed_repair(8, 100, 900), 1);
+        assert_eq!(windowed_repair(4, 15, 985), 2);
+    }
+
+    #[test]
+    fn loss_estimator_relaxes_after_a_burst() {
+        let mut est = LossEstimator::new(4);
+        assert_eq!(est.effective(), 4, "empty window keeps the configured knob");
+        // A bursty interval: 20% of copies erased.
+        let during_burst = est.observe(200, 800);
+        assert!(during_burst < 4, "burst must tighten the repair gate, got {during_burst}");
+        // Clean windows afterwards: same cumulative erasure total, fresh
+        // deliveries. The cumulative estimator would stay pinned at
+        // `during_burst` forever; the sliding window ages the burst out.
+        let mut last = during_burst;
+        for w in 1..=LOSS_WINDOW as u64 {
+            let relaxed = est.observe(200, 800 + w * 1000);
+            assert!(relaxed >= last, "repair rate must relax monotonically after the burst");
+            last = relaxed;
+        }
+        assert_eq!(last, 4, "a fully clean window must restore the configured knob");
+    }
+
+    #[test]
+    fn loss_estimator_matches_windowed_repair_on_window_sums() {
+        let mut est = LossEstimator::new(8);
+        est.observe(50, 450);
+        let eff = est.observe(80, 900);
+        // Window holds the deltas (50, 450) and (30, 450).
+        assert_eq!(eff, windowed_repair(8, 80, 900));
+    }
 }

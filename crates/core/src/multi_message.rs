@@ -45,7 +45,7 @@
 
 use crate::adaptive::{
     answer_cons_probe, cons_status_budget, drive_construction, vote_quiet, Advance, ConsDriver,
-    ConsProbe, Pacing, Segment, WindowEnd, HANDOFF_RETRIES,
+    ConsProbe, Ladder, LossEstimator, Pacing, Segment, WindowEnd, HANDOFF_RETRIES,
 };
 use crate::construction::{ConstructionSchedule, GstConstructionNode, GstMsg};
 use crate::decay::DecaySchedule;
@@ -85,6 +85,9 @@ pub struct MultiPhaseRounds {
     pub disseminate: u64,
     /// Handoff work rounds, summed over handoffs.
     pub handoff: u64,
+    /// Recovery-ladder work rounds (rung-1 window replays and rung-2
+    /// regional FEC floods); 0 unless a handoff failed on a faulted run.
+    pub repair: u64,
     /// No-knowledge Decay fallback rounds (faulted runs whose pipeline failed).
     pub fallback: u64,
     /// Status-beep rounds, all phases.
@@ -99,6 +102,7 @@ impl MultiPhaseRounds {
             + self.label
             + self.disseminate
             + self.handoff
+            + self.repair
             + self.fallback
             + self.status
     }
@@ -117,6 +121,9 @@ pub struct MultiOutcome {
     pub phases: MultiPhaseRounds,
     /// Channel statistics of the run.
     pub stats: RunStats,
+    /// Round at which the driver armed the rung-3 no-knowledge Decay flood,
+    /// `None` if the run never fell back that far.
+    pub fallback_entry: Option<u64>,
 }
 
 /// Knobs of [`broadcast_known`] beyond the graph/source/messages/params/seed
@@ -263,7 +270,14 @@ pub fn broadcast_known_faulted(
     // dissemination work, so the unified per-phase accounting stays exact
     // (`phases.total() == stats.rounds`) across all three theorems.
     let phases = MultiPhaseRounds { disseminate: stats.rounds, ..MultiPhaseRounds::default() };
-    MultiOutcome { completion_round, rounds_budget: opts.max_rounds, audit, phases, stats }
+    MultiOutcome {
+        completion_round,
+        rounds_budget: opts.max_rounds,
+        audit,
+        phases,
+        stats,
+        fallback_entry: None,
+    }
 }
 
 /// The pre-facade eight-positional-argument signature of [`broadcast_known`],
@@ -422,6 +436,16 @@ pub enum GhkMultiPhase {
         /// Round within the handoff.
         offset: u64,
     },
+    /// Rung-2 regional re-dissemination (faulted runs only): holders in the
+    /// rings feeding window `w` (and the ring just behind them) flood coded
+    /// packets for the window's batches on the Decay schedule, covering
+    /// churn/mobility that moved the frontier across ring boundaries.
+    Regional {
+        /// The failed window index.
+        window: u32,
+        /// Round within the regional flood.
+        offset: u64,
+    },
     /// No-knowledge Decay fallback (faulted runs only): every holder floods
     /// coded packets for one held batch on the Decay schedule, ignoring ring
     /// and window bookkeeping, so nodes the faults stranded outside the
@@ -447,6 +471,9 @@ impl Advance for GhkMultiPhase {
             }
             GhkMultiPhase::Handoff { window, offset } => {
                 GhkMultiPhase::Handoff { window, offset: offset + delta }
+            }
+            GhkMultiPhase::Regional { window, offset } => {
+                GhkMultiPhase::Regional { window, offset: offset + delta }
             }
             GhkMultiPhase::Fallback { offset } => {
                 GhkMultiPhase::Fallback { offset: offset + delta }
@@ -1105,6 +1132,29 @@ impl GhkMultiNode {
                     sleep
                 }
             }
+            GhkMultiPhase::Regional { window, .. } => {
+                // Only region members (rings feeding window `w` plus the
+                // ring right behind them) ever transmit; everyone else —
+                // including ring-less strays — sleeps until a delivery's
+                // observation re-wakes them.
+                let Some((ring, _)) = self.ring else { return sleep };
+                let own = self.plan.batch_in_window(window, ring);
+                let inbound =
+                    ring.checked_sub(1).and_then(|r| self.plan.batch_in_window(window, r));
+                if own.is_none() && inbound.is_none() {
+                    return sleep;
+                }
+                if self.sched.is_some()
+                    || self.fec_pending.is_some()
+                    || self.batches.iter().any(|s| {
+                        s.decoded.is_some() || s.fec.as_ref().is_some_and(Decoder::can_decode)
+                    })
+                {
+                    Wake::Now
+                } else {
+                    sleep
+                }
+            }
             GhkMultiPhase::Fallback { .. } => {
                 // Holders (and nodes with pending decoders to finalize) act
                 // every round; everyone else sleeps until a delivery's
@@ -1219,9 +1269,9 @@ impl Protocol for GhkMultiNode {
                     Wake::At(self.plan.cycle_start(window + 1))
                 }
             }
-            // The fixed plan never derives `Fallback` (it exists only for
-            // the adaptive driver's recovery segments).
-            GhkMultiPhase::Fallback { .. } => Wake::Now,
+            // The fixed plan never derives `Regional`/`Fallback` (they exist
+            // only for the adaptive driver's recovery segments).
+            GhkMultiPhase::Regional { .. } | GhkMultiPhase::Fallback { .. } => Wake::Now,
             GhkMultiPhase::Done => {
                 if self.sched.is_none() && self.fec_pending.is_none() {
                     Wake::Idle
@@ -1355,6 +1405,33 @@ impl GhkMultiNode {
                     r => (offset / 2) % u64::from(r),
                 };
                 if self.decay.fires(gate_slot, rng) {
+                    let src = Decoder::with_messages(decoded);
+                    if let Some(packet) = src.random_combination(rng) {
+                        return Action::Transmit(GhkMMsg::Fec { batch, packet });
+                    }
+                }
+                Action::Listen
+            }
+            GhkMultiPhase::Regional { window, offset } => {
+                // Rung-2 recovery: region holders flood the failed window's
+                // batches (their own and the one inbound from the previous
+                // ring) on the Decay schedule with fountain packets.
+                self.harvest_window();
+                self.decode_ready();
+                let Some((ring, _)) = self.ring else { return Action::Listen };
+                let held: Vec<u32> = [
+                    self.plan.batch_in_window(window, ring),
+                    ring.checked_sub(1).and_then(|r| self.plan.batch_in_window(window, r)),
+                ]
+                .into_iter()
+                .flatten()
+                .filter(|&b| self.batches[b as usize].decoded.is_some())
+                .collect();
+                let Some(&batch) = held.get(offset as usize % held.len().max(1)) else {
+                    return Action::Listen;
+                };
+                if self.decay.fires(offset, rng) {
+                    let decoded = self.batches[batch as usize].decoded.as_ref().expect("held");
                     let src = Decoder::with_messages(decoded);
                     if let Some(packet) = src.random_combination(rng) {
                         return Action::Transmit(GhkMMsg::Fec { batch, packet });
@@ -1508,6 +1585,38 @@ impl GhkMultiNode {
                     }
                 }
             }
+            GhkMultiPhase::Regional { window, .. } => {
+                // Region-gated adoption (ring-less strays count as in-region
+                // — churn/mobility may have orphaned them mid-pipeline): a
+                // member still missing a batch collects its fountain
+                // packets, decoding at its next act (`decode_ready`).
+                let in_region = match self.ring {
+                    Some((r, _)) => {
+                        self.plan.batch_in_window(window, r).is_some()
+                            || r.checked_sub(1)
+                                .and_then(|p| self.plan.batch_in_window(window, p))
+                                .is_some()
+                    }
+                    None => true,
+                };
+                if !in_region {
+                    return;
+                }
+                if let Observation::Message(p) = &obs {
+                    if let GhkMMsg::Fec { batch, packet } = &**p {
+                        let klen = self.plan.batch_range(*batch).len();
+                        let slot = &mut self.batches[*batch as usize];
+                        if slot.decoded.is_none()
+                            && !slot.fec.as_ref().is_some_and(Decoder::can_decode)
+                        {
+                            let fec = slot
+                                .fec
+                                .get_or_insert_with(|| Decoder::new(klen, self.payload_bits));
+                            fec.insert(packet.clone());
+                        }
+                    }
+                }
+            }
             GhkMultiPhase::Fallback { .. } => {
                 // Ring-agnostic adoption: any node still missing a batch
                 // collects fountain packets for it, decoding at its next act
@@ -1547,34 +1656,18 @@ struct MultiDriver {
     phases: MultiPhaseRounds,
     completion: Option<u64>,
     /// True exactly when the simulator carries a fault plan — gates voting,
-    /// handoff retries, the fec-repair adaptation, and the fallback, so
-    /// `FaultPlan::none()` runs stay bit-identical by construction.
+    /// handoff retries, the fec-repair adaptation, and the recovery ladder,
+    /// so `FaultPlan::none()` runs stay bit-identical by construction.
     recovery: bool,
-    /// The configured [`MultiRunOpts::fec_repair`] knob (ceiling of the
-    /// measured-erasure adaptation).
-    fec_repair: u32,
+    /// Sliding-window estimator driving the handoff FEC repair rate (see
+    /// [`LossEstimator`]); sampled once per dissemination window, so repair
+    /// relaxes after bursty loss instead of ratcheting up forever.
+    loss: LossEstimator,
     /// The repair rate last echoed to the nodes (initially the knob, which
     /// the constructor baked in); echoes only on change.
     fec_echoed: u32,
-}
-
-/// Measured-erasure adaptation of the handoff FEC repair knob: the gate
-/// compression halves (toward `1`, the most aggressive repair emission) each
-/// time the cumulative per-copy erasure count crosses another doubling of
-/// ~1% of the traffic. Clean channels (`erased == 0`) and the paper's
-/// full-cycle gate (`knob == 0`) pass through untouched.
-fn effective_repair(knob: u32, erased: u64, delivered: u64) -> u32 {
-    if knob == 0 || erased == 0 {
-        return knob;
-    }
-    let total = erased + delivered;
-    let mut gate = total.div_ceil(100).max(1);
-    let mut r = knob;
-    while r > 1 && erased >= gate {
-        r /= 2;
-        gate *= 2;
-    }
-    r
+    /// Rung bookkeeping for the staged recovery ladder.
+    ladder: Ladder,
 }
 
 impl MultiDriver {
@@ -1767,6 +1860,69 @@ impl MultiDriver {
         self.phases.label += run;
     }
 
+    /// Rung 1 of the recovery [`Ladder`]: replay the *failed window's*
+    /// dissemination (re-seeding each ring's schedule from its decoded
+    /// batches — `ensure_window` rebuilds the dropped schedule nodes) and a
+    /// fresh handoff window, drawn from the remaining worst-case pool, while
+    /// every other window's state stays intact. Returns `true` iff the run
+    /// completed or the replayed handoff quiesced.
+    fn ring_repair(&mut self, window: u32) -> bool {
+        if self.budget_left() == 0 {
+            return false;
+        }
+        self.ladder.ring();
+        self.sim.stats_mut().ring_repairs += 1;
+        let budget = self.plan.window_budget.min(self.budget_left());
+        let _ = self.window(
+            budget,
+            MultiProbe::WindowUninformed { window },
+            false,
+            |offset| GhkMultiPhase::Disseminate { window, offset },
+            |p| &mut p.repair,
+        );
+        if self.done() {
+            return true;
+        }
+        let budget = self.plan.handoff_budget.min(self.budget_left());
+        self.window(
+            budget,
+            MultiProbe::HandoffPending { window },
+            true,
+            |offset| GhkMultiPhase::Handoff { window, offset },
+            |p| &mut p.repair,
+        ) == WindowEnd::Quiesced
+    }
+
+    /// Rung 2 of the recovery [`Ladder`]: regional FEC re-dissemination —
+    /// holders in the rings feeding the failed window (plus the ring right
+    /// behind them) flood the window's batches with fountain packets,
+    /// covering churn/mobility that moved the frontier across ring
+    /// boundaries. Budgeted at two handoff windows from the remaining pool.
+    fn regional_repair(&mut self, window: u32) -> bool {
+        if self.budget_left() == 0 {
+            return false;
+        }
+        self.ladder.regional();
+        self.sim.stats_mut().regional_repairs += 1;
+        let budget = (2 * self.plan.handoff_budget).min(self.budget_left());
+        self.window(
+            budget,
+            MultiProbe::HandoffPending { window },
+            false,
+            |offset| GhkMultiPhase::Regional { window, offset },
+            |p| &mut p.repair,
+        ) == WindowEnd::Quiesced
+    }
+
+    /// Climbs rungs 1–2 for the failed window; `true` iff a rung recovered
+    /// the handoff (or the run completed outright).
+    fn climb_ladder(&mut self, window: u32) -> bool {
+        if self.ring_repair(window) || self.done() {
+            return true;
+        }
+        self.regional_repair(window) || self.done()
+    }
+
     fn run(mut self) -> MultiOutcome {
         if self.sim.nodes().iter().all(GhkMultiNode::is_complete) {
             self.completion = Some(0);
@@ -1798,9 +1954,8 @@ impl MultiDriver {
         // window w while ring j + 1 receives its handoff — windows close as
         // soon as every active ring can decode, and handoff slots collapse
         // to one probe when the receiving roots already hold the batch.
-        let mut retries_exhausted = false;
-        for w in 0..self.plan.window_count() {
-            if self.done() || retries_exhausted {
+        'windows: for w in 0..self.plan.window_count() {
+            if self.done() {
                 break;
             }
             let _ = self.window(
@@ -1814,12 +1969,18 @@ impl MultiDriver {
                 break;
             }
             // Faulted runs drive the handoff repair rate from the *measured*
-            // per-copy erasure rate instead of the configured knob, echoing
-            // it to the nodes only when it changes (never on clean channels,
-            // where `effective_repair` is the identity).
+            // per-copy erasure rate over a sliding window of recent
+            // per-window deltas (see [`LossEstimator`]) instead of the
+            // configured knob, echoing it to the nodes only when it changes
+            // (never on clean channels, where the estimator is the
+            // identity). The windowing lets repair relax once a bursty loss
+            // interval ages out of the window.
             if self.recovery {
-                let s = self.sim.stats();
-                let eff = effective_repair(self.fec_repair, s.erased, s.deliveries);
+                let (erased, delivered) = {
+                    let s = self.sim.stats();
+                    (s.erased, s.deliveries)
+                };
+                let eff = self.loss.observe(erased, delivered);
                 if eff != self.fec_echoed {
                     self.fec_echoed = eff;
                     for i in 0..self.sim.nodes().len() {
@@ -1831,10 +1992,17 @@ impl MultiDriver {
             // its budget while the receiving roots still beep is a *failed*
             // handoff — re-publish it with a doubled budget (drawn from the
             // worst-case pool) instead of advancing into a dead window.
-            // Retries exhausting sends the run straight to the fallback,
-            // conserving the remaining budget.
+            // Retries exhausting climbs the recovery ladder for *this*
+            // window (rung-1 window replay, then rung-2 regional FEC flood);
+            // only both rungs failing abandons the pipeline toward the
+            // rung-3 fallback, conserving the remaining budget.
             let mut budget = self.plan.handoff_budget;
             let mut attempt = 0u32;
+            // Once the ladder has fired, the channel has already proven
+            // persistently degraded — later failed handoffs skip the
+            // doubling retry schedule and climb immediately, instead of
+            // burning the full backoff pool per window.
+            let max_retries = if self.ladder.ring_attempted() { 0 } else { HANDOFF_RETRIES };
             loop {
                 let end = self.window(
                     budget,
@@ -1846,33 +2014,49 @@ impl MultiDriver {
                 if end == WindowEnd::Quiesced || !self.recovery {
                     break;
                 }
-                if attempt >= HANDOFF_RETRIES {
-                    retries_exhausted = true;
-                    break;
+                if attempt >= max_retries {
+                    if self.climb_ladder(w) {
+                        break;
+                    }
+                    break 'windows;
                 }
                 attempt += 1;
                 budget = (budget * 2).min(self.budget_left());
                 if budget == 0 {
-                    retries_exhausted = true;
-                    break;
+                    if self.climb_ladder(w) {
+                        break;
+                    }
+                    break 'windows;
                 }
                 self.sim.stats_mut().retries += 1;
             }
         }
-        // No-knowledge Decay fallback (the Czumaj–Davies regime): armed only
-        // on faulted runs whose pipeline failed — retries exhausted or nodes
-        // still missing batches after every window. Holders flood fountain
-        // packets ring-agnostically, bounded by the remaining worst-case
-        // budget; stranded nodes (no ring, no labels) finally participate.
-        // True to the no-knowledge regime, there are no status beeps here:
-        // a vote the faults corrupt must not silence the last-resort phase,
-        // so only the delivery-gated completion scan (or the cap) ends it.
+        // Staged-ladder epilogue: a faulted run that ends incomplete climbs
+        // any rung it has not yet attempted — anchored at the last window —
+        // before the last resort. Rung 3, the no-knowledge Decay fallback
+        // (the Czumaj–Davies regime), is reached only after rungs 1–2 both
+        // fired and failed: holders flood fountain packets ring-agnostically,
+        // bounded by the remaining worst-case budget; stranded nodes (no
+        // ring, no labels) finally participate. True to the no-knowledge
+        // regime, there are no status beeps in rung 3: a vote the faults
+        // corrupt must not silence the last-resort phase, so only the
+        // delivery-gated completion scan (or the cap) ends it.
         if self.recovery && !self.done() {
-            let left = self.budget_left();
-            if left > 0 {
-                let run = self.exec_segment(GhkMultiPhase::Fallback { offset: 0 }, left);
-                self.phases.fallback += run;
-                self.sim.stats_mut().fallback_rounds += run;
+            let frontier = self.plan.window_count().saturating_sub(1);
+            if !self.ladder.ring_attempted() {
+                let _ = self.ring_repair(frontier);
+            }
+            if !self.done() && !self.ladder.regional_attempted() {
+                let _ = self.regional_repair(frontier);
+            }
+            if !self.done() && self.ladder.may_fall_back() {
+                let left = self.budget_left();
+                if left > 0 {
+                    self.ladder.arm_fallback(self.sim.round());
+                    let run = self.exec_segment(GhkMultiPhase::Fallback { offset: 0 }, left);
+                    self.phases.fallback += run;
+                    self.sim.stats_mut().fallback_rounds += run;
+                }
             }
         }
         // End-of-run echo: harvest every pending decoder into its slot.
@@ -1896,6 +2080,7 @@ impl MultiDriver {
             audit,
             phases: self.phases,
             stats: self.sim.stats().clone(),
+            fallback_entry: self.ladder.fallback_entry(),
         }
     }
 }
@@ -2069,8 +2254,9 @@ pub fn broadcast_unknown_faulted(
         phases: MultiPhaseRounds::default(),
         completion: None,
         recovery,
-        fec_repair: opts.fec_repair,
+        loss: LossEstimator::new(opts.fec_repair),
         fec_echoed: opts.fec_repair,
+        ladder: Ladder::new(),
     }
     .run()
 }

@@ -261,6 +261,9 @@ pub struct Phases {
     pub disseminate: u64,
     /// Inter-ring handoff work rounds.
     pub handoff: u64,
+    /// Recovery-ladder work rounds (rung-1 ring-local repair and rung-2
+    /// regional re-dissemination; faulted adaptive runs only).
+    pub repair: u64,
     /// No-knowledge Decay fallback rounds (faulted adaptive runs only).
     pub fallback: u64,
     /// Status-beep rounds of the adaptive drivers.
@@ -275,6 +278,7 @@ impl Phases {
             + self.label
             + self.disseminate
             + self.handoff
+            + self.repair
             + self.fallback
             + self.status
     }
@@ -286,16 +290,34 @@ impl From<PhaseRounds> for Phases {
         // pipeline accounting without mapping it here must not compile, or
         // the `phases.total() == stats.rounds` invariant would silently
         // break for facade callers.
-        let PhaseRounds { wave, construct, broadcast, handoff, fallback, status } = p;
-        Phases { wave, construct, label: 0, disseminate: broadcast, handoff, fallback, status }
+        let PhaseRounds { wave, construct, broadcast, handoff, repair, fallback, status } = p;
+        Phases {
+            wave,
+            construct,
+            label: 0,
+            disseminate: broadcast,
+            handoff,
+            repair,
+            fallback,
+            status,
+        }
     }
 }
 
 impl From<MultiPhaseRounds> for Phases {
     fn from(p: MultiPhaseRounds) -> Self {
         // Exhaustive destructuring, same rationale as above.
-        let MultiPhaseRounds { wave, construct, label, disseminate, handoff, fallback, status } = p;
-        Phases { wave, construct, label, disseminate, handoff, fallback, status }
+        let MultiPhaseRounds {
+            wave,
+            construct,
+            label,
+            disseminate,
+            handoff,
+            repair,
+            fallback,
+            status,
+        } = p;
+        Phases { wave, construct, label, disseminate, handoff, repair, fallback, status }
     }
 }
 
@@ -308,6 +330,10 @@ pub enum Detail {
         plan: Ghk1Plan,
         /// Nodes that used the construction fallback.
         fallbacks: usize,
+        /// Round the rung-3 recovery fallback armed, if the ladder got
+        /// that far (`None` on clean runs and runs the earlier rungs
+        /// repaired).
+        fallback_entry: Option<u64>,
     },
     /// Theorem 1.2 extras.
     MultiKnown {
@@ -320,6 +346,9 @@ pub enum Detail {
     MultiUnknown {
         /// The executed plan (ring/batch pipeline geometry and caps).
         plan: GhkMultiPlan,
+        /// Round the rung-3 recovery fallback armed, if the ladder got
+        /// that far.
+        fallback_entry: Option<u64>,
     },
     /// Baseline extras.
     Baseline {
@@ -649,7 +678,11 @@ impl Scenario {
                     phases: out.phases.into(),
                     stats: out.stats,
                     audit: out.audit,
-                    detail: Detail::Single { plan: out.plan, fallbacks: out.fallbacks },
+                    detail: Detail::Single {
+                        plan: out.plan,
+                        fallbacks: out.fallbacks,
+                        fallback_entry: out.fallback_entry,
+                    },
                 }
             }
             Workload::MultiKnown { messages, slow_key, empty } => {
@@ -707,7 +740,7 @@ impl Scenario {
                     phases: out.phases.into(),
                     stats: out.stats,
                     audit: out.audit,
-                    detail: Detail::MultiUnknown { plan },
+                    detail: Detail::MultiUnknown { plan, fallback_entry: out.fallback_entry },
                 }
             }
             Workload::Baseline(algo) => self.run_baseline(graph, &params, mode, seed, *algo),
@@ -802,11 +835,19 @@ mod tests {
 
     #[test]
     fn phases_roundtrip_from_both_pipelines() {
-        let single =
-            PhaseRounds { wave: 1, construct: 2, broadcast: 3, handoff: 4, fallback: 6, status: 5 };
+        let single = PhaseRounds {
+            wave: 1,
+            construct: 2,
+            broadcast: 3,
+            handoff: 4,
+            repair: 8,
+            fallback: 6,
+            status: 5,
+        };
         let p: Phases = single.into();
         assert_eq!(p.total(), single.total());
         assert_eq!(p.disseminate, 3);
+        assert_eq!(p.repair, 8);
         assert_eq!(p.fallback, 6);
         let multi = MultiPhaseRounds {
             wave: 1,
@@ -814,12 +855,14 @@ mod tests {
             label: 3,
             disseminate: 4,
             handoff: 5,
+            repair: 9,
             fallback: 7,
             status: 6,
         };
         let p: Phases = multi.into();
         assert_eq!(p.total(), multi.total());
         assert_eq!(p.label, 3);
+        assert_eq!(p.repair, 9);
         assert_eq!(p.fallback, 7);
     }
 

@@ -59,7 +59,7 @@
 
 use crate::adaptive::{
     answer_cons_probe, cons_status_budget, drive_construction, vote_quiet, Advance, ConsDriver,
-    ConsProbe, Pacing, Segment, WindowEnd, HANDOFF_RETRIES,
+    ConsProbe, Ladder, Pacing, Segment, WindowEnd, HANDOFF_RETRIES,
 };
 use crate::construction::{ConstructionSchedule, GstConstructionNode, GstMsg};
 use crate::decay::DecaySchedule;
@@ -137,10 +137,31 @@ pub enum PhasePos {
         /// Round within the window.
         offset: u64,
     },
+    /// Rung-1 recovery work round: unslotted re-construction of one failed
+    /// ring's GST (its nodes shed their construction + schedule state via
+    /// the `Ghk1Node::repair_ring` echo first). Only `ring`'s nodes act —
+    /// no parity slotting is needed with a single ring running — so `offset`
+    /// maps 1:1 onto the construction schedule round.
+    RepairConstruct {
+        /// The ring under repair.
+        ring: u32,
+        /// Construction schedule round.
+        offset: u64,
+    },
+    /// Rung-2 recovery work round: regional Decay re-dissemination across
+    /// the failed ring ± 1. Holders in the region flood the payload; region
+    /// nodes *and* ring-less strays (the churn/mobility victims rung 2
+    /// exists for) adopt it.
+    Regional {
+        /// The center ring of the region.
+        ring: u32,
+        /// Round within the regional flood.
+        offset: u64,
+    },
     /// No-knowledge Decay fallback work round (Czumaj–Davies regime): every
     /// holder floods the payload on the Decay schedule, every node adopts it
-    /// ring-agnostically. Armed by the driver only on faulted runs whose
-    /// phase machinery failed (retries exhausted or pipeline incomplete).
+    /// ring-agnostically. Rung 3 of the recovery ladder — armed by the
+    /// driver only on faulted runs after rungs 1–2 failed.
     Fallback {
         /// Round within the fallback phase.
         offset: u64,
@@ -157,6 +178,12 @@ impl Advance for PhasePos {
             }
             PhasePos::Handoff { ring, offset } => {
                 PhasePos::Handoff { ring, offset: offset + delta }
+            }
+            PhasePos::RepairConstruct { ring, offset } => {
+                PhasePos::RepairConstruct { ring, offset: offset + delta }
+            }
+            PhasePos::Regional { ring, offset } => {
+                PhasePos::Regional { ring, offset: offset + delta }
             }
             PhasePos::Fallback { offset } => PhasePos::Fallback { offset: offset + delta },
         }
@@ -182,6 +209,15 @@ pub enum Probe {
     RootsUninformed {
         /// The *receiving* ring.
         ring: u32,
+    },
+    /// Rung-1 repair: a construction probe answered *only* by nodes of the
+    /// ring under repair (normal [`Probe::Cons`] probes cover every ring at
+    /// once; the repair re-runs a single ring's construction).
+    RepairCons {
+        /// The ring under repair.
+        ring: u32,
+        /// The construction probe.
+        probe: ConsProbe,
     },
     /// Fallback phase: "any node still missing the message?" — ring state is
     /// deliberately ignored, so nodes the faulted wave stranded (no layer, no
@@ -409,6 +445,28 @@ impl Ghk1Node {
         }
     }
 
+    /// Driver echo arming a rung-1 ring repair: nodes of `ring` shed their
+    /// construction + schedule state (harvesting any decoded payload first,
+    /// so an informed node stays informed) and rebuild from scratch on the
+    /// repair rounds; every other ring's GST stays intact.
+    fn repair_ring(&mut self, ring: u32) {
+        self.ensure_ring();
+        if self.ring.is_some_and(|(r, _)| r == ring) {
+            self.harvest();
+            self.cons = None;
+            self.sched = None;
+        }
+    }
+
+    /// Construction epilogue of a rung-1 repair, applied only to the
+    /// repaired ring (the other rings were finalized after the main
+    /// construction phase and must not be re-finalized).
+    fn finalize_ring(&mut self, ring: u32) {
+        if self.ring.is_some_and(|(r, _)| r == ring) {
+            self.finalize_construction();
+        }
+    }
+
     fn ensure_sched(&mut self) {
         if self.sched.is_none() {
             if let (Some(cons), Some((_, _))) = (&self.cons, self.ring) {
@@ -452,6 +510,15 @@ impl Ghk1Node {
                 self.ensure_cons();
                 let Some(c) = self.cons.as_mut() else { return false };
                 answer_cons_probe(c, p)
+            }
+            Probe::RepairCons { ring, probe } => {
+                self.ensure_ring();
+                if self.ring.is_none_or(|(r, _)| r != ring) {
+                    return false;
+                }
+                self.ensure_cons();
+                let Some(c) = self.cons.as_mut() else { return false };
+                answer_cons_probe(c, probe)
             }
         }
     }
@@ -519,6 +586,35 @@ impl Ghk1Node {
                 // pending-harvest case — schedule decodable but `message`
                 // not yet extracted — is covered by `has_message`).
                 if outer && self.has_message() {
+                    Wake::Now
+                } else {
+                    sleep
+                }
+            }
+            PhasePos::RepairConstruct { ring, offset } => {
+                let Some((my_ring, _)) = self.ring else {
+                    return if layered { Wake::Now } else { sleep };
+                };
+                if my_ring != ring {
+                    return sleep;
+                }
+                let Some(cons) = &self.cons else { return Wake::Now };
+                // Unslotted: the repair segment's offsets are construction
+                // schedule rounds directly. One published segment never
+                // crosses a schedule segment (the shared skip loop publishes
+                // per sub-segment), so one activity check covers the rest.
+                match self.plan.cons.phase(offset) {
+                    Some(ph) if cons.may_act_in(&ph) => Wake::Now,
+                    _ => sleep,
+                }
+            }
+            PhasePos::Regional { ring, .. } => {
+                // Region holders sample Decay every round; everyone else
+                // sleeps until a payload delivery re-wakes them (adoption
+                // happens in `observe`).
+                let in_region =
+                    self.ring.is_some_and(|(r, _)| r + 1 >= ring && r <= ring.saturating_add(1));
+                if in_region && self.has_message() {
                     Wake::Now
                 } else {
                     sleep
@@ -646,6 +742,39 @@ impl Protocol for Ghk1Node {
                     }
                 }
             }
+            PhasePos::RepairConstruct { ring, offset } => {
+                if self.ring.is_none_or(|(r, _)| r != ring) {
+                    return;
+                }
+                let mapped = match &obs {
+                    Observation::Message(p) => match &**p {
+                        Ghk1Msg::Gst(m) => Observation::packet(*m),
+                        _ => Observation::Silence,
+                    },
+                    Observation::Collision => Observation::Collision,
+                    Observation::SelfTransmit => Observation::SelfTransmit,
+                    _ => Observation::Silence,
+                };
+                if let Some(c) = self.cons.as_mut() {
+                    c.observe(offset, mapped, rng);
+                }
+            }
+            PhasePos::Regional { ring, .. } => {
+                // Region nodes adopt, and so do ring-less strays — the
+                // churn/mobility victims the regional rung exists for.
+                self.ensure_ring();
+                let in_region = match self.ring {
+                    Some((r, _)) => r + 1 >= ring && r <= ring.saturating_add(1),
+                    None => true,
+                };
+                if in_region && self.message.is_none() {
+                    if let Observation::Message(p) = &obs {
+                        if let Ghk1Msg::Handoff(m) = &**p {
+                            self.message = Some(*m);
+                        }
+                    }
+                }
+            }
             PhasePos::Fallback { .. } => {
                 // Ring-agnostic adoption: the whole point of the fallback is
                 // reaching nodes the faulted setup phases left without a ring.
@@ -720,6 +849,30 @@ impl Ghk1Node {
                 }
                 Action::Listen
             }
+            PhasePos::RepairConstruct { ring, offset } => {
+                self.ensure_cons();
+                if self.ring.is_none_or(|(r, _)| r != ring) {
+                    return Action::Listen;
+                }
+                let Some(c) = self.cons.as_mut() else { return Action::Listen };
+                match c.act(offset, rng) {
+                    Action::Transmit(m) => Action::Transmit(Ghk1Msg::Gst(m)),
+                    Action::Listen => Action::Listen,
+                }
+            }
+            PhasePos::Regional { ring, offset } => {
+                self.harvest();
+                let Some((my_ring, _)) = self.ring else { return Action::Listen };
+                if my_ring + 1 < ring || my_ring > ring.saturating_add(1) {
+                    return Action::Listen;
+                }
+                if let Some(m) = self.message {
+                    if self.decay.fires(offset, rng) {
+                        return Action::Transmit(Ghk1Msg::Handoff(m));
+                    }
+                }
+                Action::Listen
+            }
             PhasePos::Fallback { offset } => {
                 self.harvest();
                 if let Some(m) = self.message {
@@ -746,6 +899,10 @@ pub struct PhaseRounds {
     pub broadcast: u64,
     /// Inter-ring handoff work rounds, summed over handoffs.
     pub handoff: u64,
+    /// Recovery-ladder work rounds (rung-1 ring-local repair and rung-2
+    /// regional re-dissemination); 0 unless a handoff failed on a faulted
+    /// run.
+    pub repair: u64,
     /// No-knowledge fallback work rounds (0 unless the driver armed the
     /// recovery flood on a faulted run).
     pub fallback: u64,
@@ -756,7 +913,13 @@ pub struct PhaseRounds {
 impl PhaseRounds {
     /// Total rounds executed.
     pub fn total(&self) -> u64 {
-        self.wave + self.construct + self.broadcast + self.handoff + self.fallback + self.status
+        self.wave
+            + self.construct
+            + self.broadcast
+            + self.handoff
+            + self.repair
+            + self.fallback
+            + self.status
     }
 
     /// One-time setup cost (layering + GST construction work rounds).
@@ -780,6 +943,9 @@ pub struct Ghk1Outcome {
     pub audit: SchedAudit,
     /// Nodes that used the construction fallback.
     pub fallbacks: usize,
+    /// Round at which the driver armed the rung-3 no-knowledge Decay flood,
+    /// `None` if the run never fell back that far.
+    pub fallback_entry: Option<u64>,
 }
 
 /// The adaptive pipeline driver: owns the simulator and the shared phase
@@ -792,12 +958,16 @@ struct Driver {
     beep: u64,
     quiescence_slack: u32,
     cons_status_left: u64,
+    /// Status budget for rung-1 repair construction; refreshed per repair.
+    repair_status_left: u64,
     phases: PhaseRounds,
     completion: Option<u64>,
-    /// Whether the recovery paths (status voting, handoff retry, fallback)
-    /// are armed — true exactly when the simulator carries a fault plan, so
-    /// `FaultPlan::none()` runs stay bit-identical by construction.
+    /// Whether the recovery paths (status voting, handoff retry, the staged
+    /// ladder) are armed — true exactly when the simulator carries a fault
+    /// plan, so `FaultPlan::none()` runs stay bit-identical by construction.
     recovery: bool,
+    /// Rung bookkeeping for the staged recovery ladder.
+    ladder: Ladder,
 }
 
 impl Driver {
@@ -864,14 +1034,25 @@ impl Driver {
         if !self.recovery {
             return first.transmitters == 0;
         }
-        let votable = !matches!(probe, Probe::WaveProgress | Probe::Cons(ConsProbe::NewActivation));
+        let votable = !matches!(
+            probe,
+            Probe::WaveProgress
+                | Probe::Cons(ConsProbe::NewActivation)
+                | Probe::RepairCons { probe: ConsProbe::NewActivation, .. }
+        );
         let v = vote_quiet(first, votable, || {
             self.phases.status += 1;
             // Extra vote rounds stay charged against the construction status
             // budget, so the skip loop's round accounting cannot outgrow its
             // cap just because votes fired.
-            if matches!(probe, Probe::Cons(_)) {
-                self.cons_status_left = self.cons_status_left.saturating_sub(1);
+            match probe {
+                Probe::Cons(_) => {
+                    self.cons_status_left = self.cons_status_left.saturating_sub(1);
+                }
+                Probe::RepairCons { .. } => {
+                    self.repair_status_left = self.repair_status_left.saturating_sub(1);
+                }
+                _ => {}
             }
             self.exec(Step::Status(probe))
         });
@@ -937,6 +1118,83 @@ impl Driver {
         Some(self.quiet(Probe::Cons(probe)))
     }
 
+    /// Rung 1 of the recovery [`Ladder`]: re-run the *failed ring's*
+    /// construction and dissemination with fresh budget, keeping every other
+    /// ring's GST intact. The failed ring's nodes drop their schedule state
+    /// (harvesting any pending delivery first), rebuild it through the shared
+    /// quiescence-skipping construction loop restricted to that ring, then
+    /// replay the ring's broadcast window and a fresh handoff window — all
+    /// drawn from what remains of the worst-case pool. Returns `true` iff the
+    /// run completed or the replayed handoff quiesced.
+    fn ring_repair(&mut self, ring: u32) -> bool {
+        if self.budget_left() == 0 {
+            return false;
+        }
+        self.ladder.ring();
+        self.sim.stats_mut().ring_repairs += 1;
+        self.repair_status_left = self.plan.cons_status;
+        for i in 0..self.sim.nodes().len() {
+            self.sim.node_mut(NodeId::new(i)).repair_ring(ring);
+        }
+        let cons = self.plan.cons;
+        drive_construction(&mut RingRepair { drv: self, ring }, cons);
+        for i in 0..self.sim.nodes().len() {
+            self.sim.node_mut(NodeId::new(i)).finalize_ring(ring);
+        }
+        if self.done() {
+            return true;
+        }
+        let bcast = self.plan.bcast_window.min(self.budget_left());
+        let _ = self.window(
+            bcast,
+            Probe::RingUninformed { ring },
+            |offset| PhasePos::Broadcast { ring, offset },
+            |p| &mut p.repair,
+        );
+        if self.done() {
+            return true;
+        }
+        if ring + 1 >= self.plan.ring_count {
+            return false;
+        }
+        let budget = self.plan.handoff_window.min(self.budget_left());
+        self.window(
+            budget,
+            Probe::RootsUninformed { ring: ring + 1 },
+            |offset| PhasePos::Handoff { ring, offset },
+            |p| &mut p.repair,
+        ) == WindowEnd::Quiesced
+    }
+
+    /// Rung 2 of the recovery [`Ladder`]: regional re-dissemination — every
+    /// holder in the failed ring ± 1 floods the payload on the Decay
+    /// schedule, covering churn/mobility that moved the frontier across ring
+    /// boundaries. Budgeted at two handoff windows from the remaining pool.
+    fn regional_repair(&mut self, ring: u32) -> bool {
+        if self.budget_left() == 0 {
+            return false;
+        }
+        self.ladder.regional();
+        self.sim.stats_mut().regional_repairs += 1;
+        let budget = (2 * self.plan.handoff_window).min(self.budget_left());
+        let probe = if ring + 1 < self.plan.ring_count {
+            Probe::RootsUninformed { ring: ring + 1 }
+        } else {
+            Probe::RingUninformed { ring }
+        };
+        self.window(budget, probe, |offset| PhasePos::Regional { ring, offset }, |p| &mut p.repair)
+            == WindowEnd::Quiesced
+    }
+
+    /// Climbs rungs 1–2 for the failed ring; `true` iff a rung recovered the
+    /// handoff (or the run completed outright).
+    fn climb_ladder(&mut self, ring: u32) -> bool {
+        if self.ring_repair(ring) || self.done() {
+            return true;
+        }
+        self.regional_repair(ring) || self.done()
+    }
+
     fn run(mut self) -> Ghk1Outcome {
         if self.sim.nodes().iter().all(Ghk1Node::has_message) {
             self.completion = Some(0);
@@ -963,9 +1221,8 @@ impl Driver {
         for i in 0..self.sim.nodes().len() {
             self.sim.node_mut(NodeId::new(i)).finalize_construction();
         }
-        let mut retries_exhausted = false;
-        for ring in 0..self.plan.ring_count {
-            if self.done() || retries_exhausted {
+        'rings: for ring in 0..self.plan.ring_count {
+            if self.done() {
                 break;
             }
             let _ = self.window(
@@ -979,10 +1236,18 @@ impl Driver {
                 // budget while the receiving roots still beep is a *failed*
                 // handoff — re-publish it with a doubled budget (drawn from
                 // the worst-case pool) instead of advancing the cursor into
-                // a dead phase. Retries exhausting sends the run straight to
-                // the no-knowledge fallback, preserving the remaining budget.
+                // a dead phase. Retries exhausting climbs the recovery
+                // ladder for *this* ring (rung-1 ring-local repair, then
+                // rung-2 regional re-dissemination); only both rungs failing
+                // abandons the ring loop toward the rung-3 fallback,
+                // preserving the remaining budget.
                 let mut budget = self.plan.handoff_window;
                 let mut attempt = 0u32;
+                // Once the ladder has fired, the channel has already proven
+                // persistently degraded — later failed handoffs skip the
+                // doubling retry schedule and climb immediately, instead of
+                // burning the full backoff pool per ring.
+                let max_retries = if self.ladder.ring_attempted() { 0 } else { HANDOFF_RETRIES };
                 loop {
                     let end = self.window(
                         budget,
@@ -993,35 +1258,51 @@ impl Driver {
                     if end == WindowEnd::Quiesced || !self.recovery {
                         break;
                     }
-                    if attempt >= HANDOFF_RETRIES {
-                        retries_exhausted = true;
-                        break;
+                    if attempt >= max_retries {
+                        if self.climb_ladder(ring) {
+                            break;
+                        }
+                        break 'rings;
                     }
                     attempt += 1;
                     budget = (budget * 2).min(self.budget_left());
                     if budget == 0 {
-                        retries_exhausted = true;
-                        break;
+                        if self.climb_ladder(ring) {
+                            break;
+                        }
+                        break 'rings;
                     }
                     self.sim.stats_mut().retries += 1;
                 }
             }
         }
 
-        // No-knowledge Decay fallback (the Czumaj–Davies regime): armed only
-        // on faulted runs whose phase machinery failed — retries exhausted or
-        // the pipeline ended with uninformed nodes. Every holder floods the
-        // payload on the Decay schedule and every node adopts it without any
-        // ring bookkeeping, bounded by what remains of the worst-case cap.
-        // True to the no-knowledge regime, there are no status beeps here:
-        // a vote the faults corrupt must not silence the last-resort phase,
-        // so only the delivery-gated completion scan (or the cap) ends it.
+        // Staged-ladder epilogue: a faulted run that ends uninformed climbs
+        // any rung it has not yet attempted — anchored at the frontier ring —
+        // before the last resort. Rung 3, the no-knowledge Decay fallback
+        // (the Czumaj–Davies regime), is reached only after rungs 1–2 both
+        // fired and failed: every holder floods the payload on the Decay
+        // schedule and every node adopts it without any ring bookkeeping,
+        // bounded by what remains of the worst-case cap. True to the
+        // no-knowledge regime, there are no status beeps in rung 3: a vote
+        // the faults corrupt must not silence the last-resort phase, so only
+        // the delivery-gated completion scan (or the cap) ends it.
         if self.recovery && !self.done() {
-            let left = self.budget_left();
-            if left > 0 {
-                let run = self.exec_segment(PhasePos::Fallback { offset: 0 }, left);
-                self.phases.fallback += run;
-                self.sim.stats_mut().fallback_rounds += run;
+            let frontier = self.plan.ring_count - 1;
+            if !self.ladder.ring_attempted() {
+                let _ = self.ring_repair(frontier);
+            }
+            if !self.done() && !self.ladder.regional_attempted() {
+                let _ = self.regional_repair(frontier);
+            }
+            if !self.done() && self.ladder.may_fall_back() {
+                let left = self.budget_left();
+                if left > 0 {
+                    self.ladder.arm_fallback(self.sim.round());
+                    let run = self.exec_segment(PhasePos::Fallback { offset: 0 }, left);
+                    self.phases.fallback += run;
+                    self.sim.stats_mut().fallback_rounds += run;
+                }
             }
         }
 
@@ -1040,6 +1321,7 @@ impl Driver {
             stats: self.sim.stats().clone(),
             audit,
             fallbacks,
+            fallback_entry: self.ladder.fallback_entry(),
         }
     }
 }
@@ -1060,6 +1342,42 @@ impl ConsDriver for Driver {
 
     fn finished(&self) -> bool {
         self.done()
+    }
+}
+
+/// Rung-1 view of the driver: the shared construction skip loop restricted
+/// to one failed ring. Status rounds draw from the repair status budget and
+/// work segments are clamped to the remaining worst-case pool, so a repair
+/// can never outgrow the plan's cap.
+struct RingRepair<'a> {
+    drv: &'a mut Driver,
+    ring: u32,
+}
+
+impl ConsDriver for RingRepair<'_> {
+    fn cons_quiet(&mut self, probe: ConsProbe) -> Option<bool> {
+        if self.drv.repair_status_left == 0 || self.drv.budget_left() == 0 {
+            return None;
+        }
+        self.drv.repair_status_left -= 1;
+        Some(self.drv.quiet(Probe::RepairCons { ring: self.ring, probe }))
+    }
+
+    fn cons_run(&mut self, start: u64, len: u64) {
+        // Unslotted: the repair schedule replays construction offsets 1:1
+        // (no parity interleave — only one ring is rebuilding).
+        let len = len.min(self.drv.budget_left());
+        if len == 0 {
+            return;
+        }
+        let run = self
+            .drv
+            .exec_segment(PhasePos::RepairConstruct { ring: self.ring, offset: start }, len);
+        self.drv.phases.repair += run;
+    }
+
+    fn finished(&self) -> bool {
+        self.drv.done()
     }
 }
 
@@ -1152,9 +1470,11 @@ pub fn broadcast_single_faulted(
         beep: u64::from(params.beep_interval.max(1)),
         quiescence_slack: params.quiescence_slack,
         cons_status_left: plan.cons_status,
+        repair_status_left: 0,
         phases: PhaseRounds::default(),
         completion: None,
         recovery,
+        ladder: Ladder::new(),
     }
     .run()
 }

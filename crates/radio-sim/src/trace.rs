@@ -68,6 +68,13 @@ pub struct RunStats {
     /// Rounds an adaptive driver spent in its no-knowledge Decay fallback
     /// phase. Driver-recorded; 0 without a fault plan.
     pub fallback_rounds: u64,
+    /// Rung-1 recovery ladder firings: ring-local repairs (re-running one
+    /// failed ring's construction + dissemination with fresh budget).
+    /// Driver-recorded; 0 without a fault plan.
+    pub ring_repairs: u64,
+    /// Rung-2 recovery ladder firings: regional re-dissemination across the
+    /// failed ring ± 1. Driver-recorded; 0 without a fault plan.
+    pub regional_repairs: u64,
 }
 
 impl RunStats {
@@ -115,11 +122,22 @@ impl fmt::Display for RunStats {
             self.collisions,
             self.delivery_ratio()
         )?;
-        if self.retries + self.votes_overturned + self.fallback_rounds > 0 {
+        if self.retries
+            + self.votes_overturned
+            + self.fallback_rounds
+            + self.ring_repairs
+            + self.regional_repairs
+            > 0
+        {
             write!(
                 f,
-                ", recovery: {} retries, {} votes overturned, {} fallback rounds",
-                self.retries, self.votes_overturned, self.fallback_rounds
+                ", recovery: {} retries, {} votes overturned, {} ring repairs, \
+                 {} regional repairs, {} fallback rounds",
+                self.retries,
+                self.votes_overturned,
+                self.ring_repairs,
+                self.regional_repairs,
+                self.fallback_rounds
             )?;
         }
         Ok(())

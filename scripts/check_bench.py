@@ -15,9 +15,14 @@ lossy `multi_unknown` run whose erasure must actually have fired. Schema 4
 (`retries`/`votes_overturned`/`fallback_rounds`) to every entry, pins a
 degraded-corridor run under heavy erasure, requires every faulted entry to
 show fault *or* recovery activity, and requires the degraded corridor
-specifically to have exercised the recovery machinery (nonzero retries or
-fallback rounds) — a faulted bench whose recovery layer never fires is the
-fault-blindness bug this schema exists to catch.
+specifically to have exercised the recovery machinery — a faulted bench
+whose recovery layer never fires is the fault-blindness bug this schema
+exists to catch. Schema 5 (the staged recovery ladder) adds the
+`ring_repairs`/`regional_repairs` rung counters to every entry, a
+degraded-mobility grid entry, a 60x-Decay budget on the degraded corridor
+(down from the recovery PR's 250x headline — the ladder repairs the failed
+ring locally instead of flooding globally), and requires at least one
+degraded entry to have fired a rung-1 ring repair.
 
 Usage: python3 scripts/check_bench.py [path/to/BENCH_pipeline.json]
 """
@@ -25,9 +30,9 @@ Usage: python3 scripts/check_bench.py [path/to/BENCH_pipeline.json]
 import json
 import sys
 
-EXPECTED_SCHEMA = 4
+EXPECTED_SCHEMA = 5
 
-# Every field each pipeline entry must carry (schema 4).
+# Every field each pipeline entry must carry (schema 5).
 REQUIRED_ENTRY_FIELDS = (
     "name",
     "scenario",
@@ -44,6 +49,8 @@ REQUIRED_ENTRY_FIELDS = (
     "churn_events",
     "retries",
     "votes_overturned",
+    "ring_repairs",
+    "regional_repairs",
     "fallback_rounds",
 )
 REQUIRED_SCENARIO_FIELDS = ("topology", "workload", "seed", "faults")
@@ -89,13 +96,21 @@ EXPECTED_SCENARIOS = {
         "seed": 1,
         "faults": "erase(0.2)",
     },
+    "e3_degraded_mobile_grid": {
+        "topology": "grid(6x6)",
+        "workload": "single",
+        "seed": 1,
+        "faults": "mobile(r0.35,e32)",
+    },
 }
 
 # Faulted entries that must show nonzero *recovery-counter* activity
-# (retries or fallback rounds): scenarios harsh enough that a clean-looking
-# run means the recovery layer silently failed to engage. Lightly faulted
-# entries (e.g. 5% erasure) may legitimately recover through voting and
-# fec-rate adaptation alone without tripping these counters.
+# (retries, a ladder rung, or fallback rounds): scenarios harsh enough that
+# a clean-looking run means the recovery layer silently failed to engage.
+# Lightly faulted entries (e.g. 5% erasure) may legitimately recover through
+# voting and fec-rate adaptation alone, and mobility re-samples the topology
+# without corrupting the channel (windows stretch but rarely fail), so
+# neither class is required to trip these counters.
 MUST_EXERCISE_RECOVERY = ("e1_degraded_corridor",)
 
 # Round budgets for the bench's fixed seeds; generous versions of the pins in
@@ -106,7 +121,11 @@ ROUND_BUDGETS = {
     "multi_telemetry_backhaul": 7_000,
     "multi_firmware_grid": 12_500,
     "multi_lossy_telemetry": 7_000,
-    "e1_degraded_corridor": 12_000,
+    # 60x the paired Decay run (199 rounds at this seed/plan) — the staged
+    # ladder's headline: the recovery PR's retry-then-flood scheme needed a
+    # 250x allowance here.
+    "e1_degraded_corridor": 11_940,
+    "e3_degraded_mobile_grid": 4_000,
 }
 
 # Exact round counts at the bench's fixed seeds. Runs are deterministic, so
@@ -121,8 +140,14 @@ EXPECTED_ROUNDS = {
     "multi_firmware_grid": 5_011,
     # Down from 3366: the measured-erasure fec-repair adaptation and the
     # erasure-asymmetry voting shortcut landed together (recovery PR).
+    # Unchanged by the schema-5 windowed estimator: the erasure rate here is
+    # steady, so the sliding window sees what the cumulative totals saw.
     "multi_lossy_telemetry": 3_267,
-    "e1_degraded_corridor": 6_060,
+    # The staged ladder replaced the deep retry backoff (3 retries at
+    # doubled budgets, then a global flood) with one retry plus ring-local
+    # and regional repair rungs.
+    "e1_degraded_corridor": 6_183,
+    "e3_degraded_mobile_grid": 1_955,
 }
 
 MIN_MICROBENCH_SPEEDUP = 50.0
@@ -178,7 +203,11 @@ def check_entry(entry, failures):
     faults = scenario.get("faults", "none")
     fault_activity = entry["erased"] + entry["jammed"] + entry["churn_events"]
     recovery_activity = (
-        entry["retries"] + entry["votes_overturned"] + entry["fallback_rounds"]
+        entry["retries"]
+        + entry["votes_overturned"]
+        + entry["ring_repairs"]
+        + entry["regional_repairs"]
+        + entry["fallback_rounds"]
     )
     if "erase(" in faults and entry["erased"] <= 0:
         failures.append(
@@ -191,12 +220,24 @@ def check_entry(entry, failures):
             "recovery activity — the run was effectively fault-free"
         )
     if name in MUST_EXERCISE_RECOVERY and (
-        entry["retries"] + entry["fallback_rounds"] == 0
+        entry["retries"]
+        + entry["ring_repairs"]
+        + entry["regional_repairs"]
+        + entry["fallback_rounds"]
+        == 0
     ):
         failures.append(
             f"{name}: degraded entry never exercised the recovery "
-            "machinery (retries == 0 and fallback_rounds == 0) — the "
-            "pipeline is fault-blind again"
+            "machinery (no retries, ladder rungs or fallback rounds) — "
+            "the pipeline is fault-blind again"
+        )
+    if (
+        entry["fallback_rounds"] > 0
+        and entry["ring_repairs"] + entry["regional_repairs"] == 0
+    ):
+        failures.append(
+            f"{name}: fallback fired without any ladder rung — rung order "
+            "must be monotone (ring-local, then regional, then global)"
         )
     if faults == "none" and fault_activity + recovery_activity:
         failures.append(
@@ -223,6 +264,20 @@ def main() -> int:
     missing = set(ROUND_BUDGETS) - seen
     if missing:
         failures.append(f"missing pipeline entries: {sorted(missing)}")
+
+    # The ladder's whole point is repairing locally before escalating: at
+    # least one degraded entry must have fired a rung-1 ring repair, or the
+    # staged ladder has silently degenerated back to flood-only recovery.
+    degraded = [
+        e
+        for e in data.get("entries", [])
+        if e.get("scenario", {}).get("faults", "none") != "none"
+    ]
+    if degraded and not any(e.get("ring_repairs", 0) > 0 for e in degraded):
+        failures.append(
+            "no degraded entry fired a ring-local repair (ring_repairs == 0 "
+            "everywhere) — the recovery ladder's first rung never engages"
+        )
 
     micro = data.get("idle_microbench", {})
     speedup = micro.get("speedup", 0.0)

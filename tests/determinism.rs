@@ -242,8 +242,9 @@ fn faulted_runs_replay_identically_across_modes_and_seeds() {
     // seed, so a faulted run is as pure a function of (scenario, seed) as a
     // clean one: the full RunStats — channel trace, the erased / jammed /
     // churn_events fault counters, *and* the driver-recorded recovery
-    // counters (retries, votes_overturned, fallback_rounds) — must replay
-    // exactly, for both collision modes, under each fault class.
+    // counters (retries, votes_overturned, ring_repairs, regional_repairs,
+    // fallback_rounds) — must replay exactly, for both collision modes,
+    // under each fault class.
     let spec = TopologySpec::ClusterChain { clusters: 4, size: 4 };
     let plans = [
         ("erasure", FaultPlan::none().with_erasure(0.15)),
@@ -277,8 +278,12 @@ fn faulted_runs_replay_identically_across_modes_and_seeds() {
                     _ => a.stats.churn_events,
                 };
                 assert!(fired > 0, "{class} never fired ({mode:?}, seed {seed}): {:?}", a.stats);
-                recovery_fired |=
-                    a.stats.retries + a.stats.votes_overturned + a.stats.fallback_rounds > 0;
+                recovery_fired |= a.stats.retries
+                    + a.stats.votes_overturned
+                    + a.stats.ring_repairs
+                    + a.stats.regional_repairs
+                    + a.stats.fallback_rounds
+                    > 0;
             }
         }
     }
@@ -321,14 +326,26 @@ fn single_recovery_segment_pacing_equals_per_step() {
         );
         assert_eq!(seg.phases, step.phases, "phase accounting diverged (seed {seed})");
         assert_eq!(
-            (seg.stats.retries, seg.stats.votes_overturned, seg.stats.fallback_rounds),
-            (step.stats.retries, step.stats.votes_overturned, step.stats.fallback_rounds),
+            recovery_tuple(&seg.stats),
+            recovery_tuple(&step.stats),
             "recovery counters diverged (seed {seed})"
         );
-        recovery_fired |=
-            seg.stats.retries + seg.stats.votes_overturned + seg.stats.fallback_rounds > 0;
+        recovery_fired |= recovery_tuple(&seg.stats) != (0, 0, 0, 0, 0);
     }
     assert!(recovery_fired, "no seed exercised the recovery machinery");
+}
+
+/// Every driver-recorded recovery counter, as one comparable tuple:
+/// (retries, votes_overturned, ring_repairs, regional_repairs,
+/// fallback_rounds).
+fn recovery_tuple(stats: &radio_sim::RunStats) -> (u64, u64, u64, u64, u64) {
+    (
+        stats.retries,
+        stats.votes_overturned,
+        stats.ring_repairs,
+        stats.regional_repairs,
+        stats.fallback_rounds,
+    )
 }
 
 #[test]
@@ -365,12 +382,11 @@ fn multi_recovery_segment_pacing_equals_per_step() {
         );
         assert_eq!(seg.phases, step.phases, "phase accounting diverged (seed {seed})");
         assert_eq!(
-            (seg.stats.retries, seg.stats.votes_overturned, seg.stats.fallback_rounds),
-            (step.stats.retries, step.stats.votes_overturned, step.stats.fallback_rounds),
+            recovery_tuple(&seg.stats),
+            recovery_tuple(&step.stats),
             "recovery counters diverged (seed {seed})"
         );
-        recovery_fired |=
-            seg.stats.retries + seg.stats.votes_overturned + seg.stats.fallback_rounds > 0;
+        recovery_fired |= recovery_tuple(&seg.stats) != (0, 0, 0, 0, 0);
     }
     assert!(recovery_fired, "no seed exercised the recovery machinery");
 }

@@ -95,11 +95,12 @@ fn single_matches_legacy_on_both_modes() {
             assert_eq!(facade.audit, legacy.audit, "audit diverged ({mode:?}, seed {seed})");
             assert_eq!(facade.cap, legacy.plan.total_rounds());
             assert_eq!(facade.phases.total(), legacy.phases.total());
-            let Detail::Single { plan, fallbacks } = facade.detail else {
+            let Detail::Single { plan, fallbacks, fallback_entry } = facade.detail else {
                 panic!("wrong detail arm")
             };
             assert_eq!(plan, legacy.plan);
             assert_eq!(fallbacks, legacy.fallbacks);
+            assert_eq!(fallback_entry, legacy.fallback_entry);
         }
     }
 }

@@ -188,6 +188,40 @@ fn firmware_grid_multi_budget() {
 }
 
 #[test]
+fn fallback_rounds_stay_on_the_wake_fast_path() {
+    // The rung-3 Decay fallback runs with DoneCheck::OnDelivery: its
+    // completion scan is gated on a delivery having happened in the
+    // segment, so fallback rounds ride the same wake-hint fast path as the
+    // clean pipeline rather than polling every node every round. Pin a
+    // fallback-heavy faulted run (corridor churn, seed 1 spends ~470 rounds
+    // in rung 3) and require the segment scheduler to keep skipping acts
+    // while the ladder and fallback execute.
+    let out = Scenario::new(
+        TopologySpec::ClusterChain { clusters: 20, size: 6 },
+        Workload::Single { payload: 0xA1E57 },
+    )
+    .faults(radio_sim::FaultPlan::none().with_churn(1, 0.0, 0.01))
+    .seed(1)
+    .run();
+    assert!(
+        out.stats.fallback_rounds > 0,
+        "scenario no longer reaches the rung-3 fallback (stats: {:?})",
+        out.stats
+    );
+    assert!(
+        out.completion_round.is_some(),
+        "fallback must still complete the broadcast (cap {})",
+        out.cap
+    );
+    assert!(
+        out.stats.act_skips > 0,
+        "fallback fell off the wake-hint fast path: act_skips == 0 with \
+         {} fallback rounds (dense per-round completion scanning)",
+        out.stats.fallback_rounds
+    );
+}
+
+#[test]
 fn adaptive_caps_stay_polylog_above_diameter() {
     // The cap itself must keep the O(D + polylog) shape: doubling D at fixed
     // n must grow the cap by ~O(D), not multiply it.
