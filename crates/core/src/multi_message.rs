@@ -55,11 +55,12 @@ use crate::schedule::{
     EmptyBehavior, MmvScheduleNode, SchedAudit, SchedLabels, SchedMsg, ScheduleConfig, SlowKey,
 };
 use crate::virtual_labels::{VirtualLabelNode, VlMsg, VlSchedule};
+use radio_sim::graph::bfs_layering;
 use radio_sim::model::PacketBits;
 use radio_sim::trace::{RoundStats, RunStats};
 use radio_sim::{
     Action, CollisionMode, DoneCheck, FaultPlan, Graph, NodeId, Observation, Protocol, Simulator,
-    Wake,
+    Topology, Wake,
 };
 use rand::rngs::SmallRng;
 use rlnc::gf2::BitVec;
@@ -124,6 +125,13 @@ pub struct MultiOutcome {
     /// Round at which the driver armed the rung-3 no-knowledge Decay flood,
     /// `None` if the run never fell back that far.
     pub fallback_entry: Option<u64>,
+    /// Peak resident state over the run, in bytes: the topology's
+    /// [`Topology::resident_bytes`] plus the per-node struct-level state
+    /// ([`GhkMultiNode::resident_bytes`]), sampled at phase boundaries.
+    /// Engine buffers and sub-state-internal heap are excluded on both
+    /// sides, so the figure isolates what the lazy per-ring state machine
+    /// keeps alive.
+    pub peak_state_bytes: usize,
 }
 
 /// Knobs of [`broadcast_known`] beyond the graph/source/messages/params/seed
@@ -270,6 +278,10 @@ pub fn broadcast_known_faulted(
     // dissemination work, so the unified per-phase accounting stays exact
     // (`phases.total() == stats.rounds`) across all three theorems.
     let phases = MultiPhaseRounds { disseminate: stats.rounds, ..MultiPhaseRounds::default() };
+    // Theorem 1.2 nodes carry their full schedule state for the whole run
+    // (there are no phases to retire through), so the peak is the steady
+    // state: the materialized graph plus one schedule shell per node.
+    let peak_state_bytes = sim.graph().resident_bytes() + std::mem::size_of_val(sim.nodes());
     MultiOutcome {
         completion_round,
         rounds_budget: opts.max_rounds,
@@ -277,6 +289,7 @@ pub fn broadcast_known_faulted(
         phases,
         stats,
         fallback_entry: None,
+        peak_state_bytes,
     }
 }
 
@@ -710,9 +723,18 @@ pub struct GhkMultiNode {
     /// Frontier reached this node since the last wave status round.
     wave_dirty: bool,
     ring: Option<(u32, u32)>,
-    cons: Option<GstConstructionNode>,
-    vl: Option<VirtualLabelNode>,
-    sched: Option<ActiveWindow>,
+    /// Phase-2 construction state; boxed so the shell stays small, built on
+    /// demand when the wave reaches the node, and dropped (together with
+    /// `vl`) by [`GhkMultiNode::retire_construction`] once labeling ends.
+    cons: Option<Box<GstConstructionNode>>,
+    /// Phase-3 labeling state; boxed and retired like `cons`.
+    vl: Option<Box<VirtualLabelNode>>,
+    /// The dissemination labels extracted from `vl` at retirement; windows
+    /// read these instead of keeping the labeling machine alive.
+    sched_cache: Option<SchedLabels>,
+    /// The live window's schedule, built per window and harvested at the
+    /// window boundary — never more than one alive per node.
+    sched: Option<Box<ActiveWindow>>,
     /// Last dissemination window whose setup (`ensure_window`) ran.
     window_seen: Option<u32>,
     /// Last handoff window whose entry harvest ran.
@@ -762,6 +784,7 @@ impl GhkMultiNode {
             ring: None,
             cons: None,
             vl: None,
+            sched_cache: None,
             sched: None,
             window_seen: None,
             handoff_seen: None,
@@ -854,12 +877,12 @@ impl GhkMultiNode {
         self.ensure_ring();
         if self.cons.is_none() {
             if let Some((_, ring_level)) = self.ring {
-                self.cons = Some(GstConstructionNode::new(
+                self.cons = Some(Box::new(GstConstructionNode::new(
                     &self.params,
                     self.plan.cons,
                     self.id,
                     ring_level,
-                ));
+                )));
             }
         }
     }
@@ -867,12 +890,16 @@ impl GhkMultiNode {
     fn ensure_vl(&mut self) {
         if self.vl.is_none() {
             if let Some(cons) = &self.cons {
-                self.vl = Some(VirtualLabelNode::new(self.plan.vl, self.id, cons.labels()));
+                self.vl =
+                    Some(Box::new(VirtualLabelNode::new(self.plan.vl, self.id, cons.labels())));
             }
         }
     }
 
     fn sched_labels(&self) -> Option<SchedLabels> {
+        if let Some(cached) = self.sched_cache {
+            return Some(cached);
+        }
         let vl = self.vl.as_ref()?;
         let l = vl.labels();
         Some(SchedLabels {
@@ -910,7 +937,7 @@ impl GhkMultiNode {
         if let Some(decoded) = &self.batches[batch as usize].decoded {
             node = node.with_messages(decoded);
         }
-        self.sched = Some(ActiveWindow { window, batch, node });
+        self.sched = Some(Box::new(ActiveWindow { window, batch, node }));
     }
 
     /// Stores a completed window's batch, or counts a drop. The window's
@@ -973,6 +1000,34 @@ impl GhkMultiNode {
         if let Some(c) = self.cons.as_mut() {
             c.finalize();
         }
+    }
+
+    /// Driver echo at the end of the labeling phase: caches the
+    /// dissemination labels ([`SchedLabels`]) the windows will read, then
+    /// drops the construction and labeling machines. Both are inert from
+    /// here on — the driver never publishes `Construct`/`Label` segments
+    /// again — so resident state shrinks to the shell plus at most one live
+    /// window schedule per node.
+    fn retire_construction(&mut self) {
+        if self.sched_cache.is_none() {
+            self.sched_cache = self.sched_labels();
+        }
+        self.cons = None;
+        self.vl = None;
+    }
+
+    /// Struct-level resident state of this node, in bytes: the shell plus
+    /// the boxed phase sub-states currently alive and the per-batch slot
+    /// table. Sub-state-internal heap (decoder matrices, payload buffers)
+    /// is excluded — see the README's "Streaming topologies and memory
+    /// model" section for the accounting contract.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self.cons.is_some() as usize * size_of::<GstConstructionNode>()
+            + self.vl.is_some() as usize * size_of::<VirtualLabelNode>()
+            + self.sched.is_some() as usize * size_of::<ActiveWindow>()
+            + self.batches.capacity() * size_of::<BatchState>()
     }
 
     /// Answers a status-round probe: `true` = transmit a beep.
@@ -1645,8 +1700,8 @@ impl GhkMultiNode {
 /// cursor, advances phases on status-round quiescence, and hard-caps every
 /// phase at its [`GhkMultiPlan`] budget so [`GhkMultiPlan::total_rounds`]
 /// bounds any run.
-struct MultiDriver {
-    sim: Simulator<GhkMultiNode>,
+struct MultiDriver<T: Topology> {
+    sim: Simulator<GhkMultiNode, T>,
     step: MultiStepCell,
     plan: GhkMultiPlan,
     beep: u64,
@@ -1668,14 +1723,25 @@ struct MultiDriver {
     fec_echoed: u32,
     /// Rung bookkeeping for the staged recovery ladder.
     ladder: Ladder,
+    /// Running peak of the summed per-node resident state (see
+    /// [`MultiDriver::sample_state`]).
+    peak_nodes: usize,
 }
 
-impl MultiDriver {
+impl<T: Topology> MultiDriver<T> {
     /// Moves the shared cursor: every cell change force-wakes all nodes
     /// (their hints were computed against the outgoing cell).
     fn publish(&mut self, step: MultiStep) {
         self.sim.wake_all();
         self.step.set(step);
+    }
+
+    /// Folds the current per-node resident state into the running peak.
+    /// Called at phase boundaries (the retirement sweeps and window ends),
+    /// where the state high-water marks sit.
+    fn sample_state(&mut self) {
+        let now: usize = self.sim.nodes().iter().map(GhkMultiNode::resident_bytes).sum();
+        self.peak_nodes = self.peak_nodes.max(now);
     }
 
     fn exec(&mut self, step: MultiStep) -> RoundStats {
@@ -1791,7 +1857,7 @@ impl MultiDriver {
         let slack = self.quiescence_slack.max(1);
         let mut offset = 0u64;
         let start = self.sim.round();
-        let spent = |sim: &Simulator<GhkMultiNode>| sim.round() - start;
+        let spent = |sim: &Simulator<GhkMultiNode, T>| sim.round() - start;
         let mut quiet_streak = 0u32;
         if probe_first && !self.done() && self.quiet(probe) {
             return WindowEnd::Quiesced;
@@ -1942,6 +2008,9 @@ impl MultiDriver {
             let cons = self.plan.cons;
             drive_construction(&mut self, cons);
         }
+        // Sample before the finalize echo: every layered node's construction
+        // machine is still alive here.
+        self.sample_state();
         // End-of-construction echo (see `single_message::Driver::run`).
         for i in 0..self.sim.nodes().len() {
             self.sim.node_mut(NodeId::new(i)).finalize_construction();
@@ -1949,6 +2018,16 @@ impl MultiDriver {
         if !self.done() {
             // Phase 3: adaptive virtual labeling.
             self.label();
+        }
+        // The run's state peak: construction and labeling machines both
+        // alive. The retirement sweep that follows caches the dissemination
+        // labels and drops both, so the window phases run on lean shells.
+        // The sweep's `node_mut` re-wakes are trace-neutral: every cursor
+        // change starts with `wake_all`, so the next step polls all nodes
+        // regardless.
+        self.sample_state();
+        for i in 0..self.sim.nodes().len() {
+            self.sim.node_mut(NodeId::new(i)).retire_construction();
         }
         // Phase 4: the batch pipeline. Ring j disseminates batch w - j in
         // window w while ring j + 1 receives its handoff — windows close as
@@ -2030,6 +2109,8 @@ impl MultiDriver {
                 }
                 self.sim.stats_mut().retries += 1;
             }
+            // Window boundary: the live schedules are at their largest.
+            self.sample_state();
         }
         // Staged-ladder epilogue: a faulted run that ends incomplete climbs
         // any rung it has not yet attempted — anchored at the last window —
@@ -2060,6 +2141,7 @@ impl MultiDriver {
             }
         }
         // End-of-run echo: harvest every pending decoder into its slot.
+        self.sample_state();
         for i in 0..self.sim.nodes().len() {
             self.sim.node_mut(NodeId::new(i)).finalize_run();
         }
@@ -2081,11 +2163,12 @@ impl MultiDriver {
             phases: self.phases,
             stats: self.sim.stats().clone(),
             fallback_entry: self.ladder.fallback_entry(),
+            peak_state_bytes: self.sim.graph().resident_bytes() + self.peak_nodes,
         }
     }
 }
 
-impl ConsDriver for MultiDriver {
+impl<T: Topology> ConsDriver for MultiDriver<T> {
     fn cons_quiet(&mut self, probe: ConsProbe) -> Option<bool> {
         if self.cons_status_left == 0 {
             return None;
@@ -2223,14 +2306,40 @@ pub fn broadcast_unknown_faulted(
     opts: MultiRunOpts,
     faults: &FaultPlan,
 ) -> MultiOutcome {
-    use radio_sim::graph::Traversal;
+    broadcast_unknown_on(graph.clone(), source, messages, params, seed, opts, faults)
+}
+
+/// [`broadcast_unknown_faulted`] over any [`Topology`] — the generic entry
+/// point the streamed pipelines use.
+///
+/// A streamed topology (e.g. [`radio_sim::ImplicitGraph`]) produces a run
+/// bit-identical to the same topology materialized: neighborhoods are
+/// byte-equal, so every transmission resolves identically. What changes is
+/// residence — the adjacency is recomputed on demand instead of held in
+/// memory, and [`MultiOutcome::peak_state_bytes`] reports the difference.
+///
+/// # Panics
+///
+/// Panics if `messages` is empty or the topology is empty, and if `faults`
+/// carries a churn or mobility plan while `topology` is not a materialized
+/// [`Graph`] (those plans rewrite the adjacency; see
+/// [`Simulator::new_with_faults`]).
+pub fn broadcast_unknown_on<T: Topology>(
+    topology: T,
+    source: NodeId,
+    messages: &[BitVec],
+    params: &Params,
+    seed: u64,
+    opts: MultiRunOpts,
+    faults: &FaultPlan,
+) -> MultiOutcome {
     assert!(!messages.is_empty(), "need at least one message");
-    assert!(graph.node_count() > 0, "graph must be non-empty");
+    assert!(topology.node_count() > 0, "graph must be non-empty");
     let payload_bits = messages[0].len();
-    let d = graph.bfs(source).max_level();
+    let d = bfs_layering(&topology, &[source]).max_level();
     let plan = GhkMultiPlan::new_adaptive(params, d.max(1), messages.len(), opts.batch);
     let step: MultiStepCell = Rc::new(Cell::new(MultiStep::Idle));
-    let sim = Simulator::new_with_faults(graph.clone(), opts.mode, seed, faults.clone(), |id| {
+    let sim = Simulator::new_with_faults(topology, opts.mode, seed, faults.clone(), |id| {
         GhkMultiNode::new(
             params,
             plan,
@@ -2257,6 +2366,7 @@ pub fn broadcast_unknown_faulted(
         loss: LossEstimator::new(opts.fec_repair),
         fec_echoed: opts.fec_repair,
         ladder: Ladder::new(),
+        peak_nodes: 0,
     }
     .run()
 }

@@ -47,17 +47,20 @@
 use crate::adaptive::Pacing;
 use crate::decay::{DecayBroadcast, DecayMsg, MmvDecayBroadcast};
 use crate::multi_message::{
-    broadcast_known_faulted, broadcast_unknown_faulted, BatchMode, GhkMultiPlan, KnownRunOpts,
+    broadcast_known_faulted, broadcast_unknown_on, BatchMode, GhkMultiPlan, KnownRunOpts,
     MultiPhaseRounds, MultiRunOpts,
 };
 use crate::params::Params;
 use crate::schedule::{EmptyBehavior, SchedAudit, SlowKey};
-use crate::single_message::{broadcast_single_faulted, Ghk1Plan, PhaseRounds};
-use radio_sim::graph::{generators, Traversal};
+use crate::single_message::{broadcast_single_on, Ghk1Plan, PhaseRounds};
+use radio_sim::graph::{bfs_layering, generators};
 use radio_sim::rng::stream_rng;
 use radio_sim::trace::RunStats;
-use radio_sim::{CollisionMode, DoneCheck, FaultPlan, Graph, NodeId, Simulator};
+use radio_sim::{
+    CollisionMode, DoneCheck, FaultPlan, Graph, ImplicitGraph, NodeId, Simulator, Topology,
+};
 use rlnc::gf2::BitVec;
+use std::sync::Arc;
 
 /// Default hard cap for baseline workloads (the cap the hand-rolled Decay
 /// comparison loops always used).
@@ -119,13 +122,75 @@ pub enum TopologySpec {
         graph_seed: u64,
     },
     /// Any pre-built graph (escape hatch for hand-crafted topologies).
-    Custom(Graph),
+    /// Shared behind an [`Arc`] so seed sweeps and repeated runs never
+    /// re-clone the CSR arrays; build one with [`TopologySpec::custom`].
+    Custom(Arc<Graph>),
+    /// Streamed `w × h` grid: neighborhoods computed on demand
+    /// ([`ImplicitGraph::grid`]), edge-identical to [`TopologySpec::Grid`].
+    /// Supports erasure/jammer fault plans but not churn/mobility (those
+    /// rewrite a materialized adjacency).
+    StreamedGrid {
+        /// Width in nodes.
+        w: usize,
+        /// Height in nodes.
+        h: usize,
+    },
+    /// Streamed hashed unit-disk deployment ([`ImplicitGraph::unit_disk`]).
+    /// Deterministic per `(n, radius, graph_seed)` and distributionally
+    /// equivalent to [`TopologySpec::UnitDisk`], but **not** edge-identical
+    /// to it: positions are SplitMix64-hashed per node id instead of drawn
+    /// sequentially, and no connectivity stitching is applied.
+    StreamedUnitDisk {
+        /// Node count.
+        n: usize,
+        /// Connection radius in the unit square.
+        radius: f64,
+        /// Seed of the position hash.
+        graph_seed: u64,
+    },
+    /// Streamed hashed `G(n, p)` ([`ImplicitGraph::gnp`]): one SplitMix64
+    /// coin per node pair, no connectivity stitching. Neighborhood queries
+    /// cost `O(n)` hashes — for million-node streaming use
+    /// [`TopologySpec::StreamedGrid`]/[`TopologySpec::StreamedUnitDisk`].
+    StreamedGnp {
+        /// Node count.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+        /// Seed of the pair-coin hash.
+        graph_seed: u64,
+    },
 }
 
 impl TopologySpec {
+    /// Wraps a pre-built graph as a [`TopologySpec::Custom`] spec.
+    pub fn custom(graph: Graph) -> Self {
+        TopologySpec::Custom(Arc::new(graph))
+    }
+
+    /// The streamed topology of a `Streamed*` spec, `None` for materialized
+    /// families. [`Scenario::run`] dispatches on this: streamed specs go to
+    /// the generic pipeline entry points without ever building the CSR.
+    pub fn streamed(&self) -> Option<ImplicitGraph> {
+        match self {
+            TopologySpec::StreamedGrid { w, h } => Some(ImplicitGraph::grid(*w, *h)),
+            TopologySpec::StreamedUnitDisk { n, radius, graph_seed } => {
+                Some(ImplicitGraph::unit_disk(*n, *radius, *graph_seed))
+            }
+            TopologySpec::StreamedGnp { n, p, graph_seed } => {
+                Some(ImplicitGraph::gnp(*n, *p, *graph_seed))
+            }
+            _ => None,
+        }
+    }
+
     /// Materializes the graph. Deterministic: the same spec always builds
     /// the same graph (randomized families derive their RNG from
-    /// `graph_seed` alone).
+    /// `graph_seed` alone). `Streamed*` specs materialize via
+    /// [`ImplicitGraph::materialize`] — byte-identical neighborhoods to the
+    /// streamed queries, but an `O(n²)` pair scan for the hashed disk/Gnp
+    /// families, intended for verification sizes rather than streaming
+    /// scale.
     pub fn build(&self) -> Graph {
         match self {
             TopologySpec::Path { n } => generators::path(*n),
@@ -143,12 +208,19 @@ impl TopologySpec {
                 let mut rng = stream_rng(*graph_seed, 0);
                 generators::gnp_connected(*n, *p, &mut rng)
             }
-            TopologySpec::Custom(g) => g.clone(),
+            TopologySpec::Custom(g) => g.as_ref().clone(),
+            TopologySpec::StreamedGrid { .. }
+            | TopologySpec::StreamedUnitDisk { .. }
+            | TopologySpec::StreamedGnp { .. } => {
+                self.streamed().expect("streamed variant").materialize()
+            }
         }
     }
 
     /// A stable machine-readable label (used by the perf bench's JSON
-    /// entries and validated by `scripts/check_bench.py`).
+    /// entries and validated by `scripts/check_bench.py`). Labels of the
+    /// pre-existing materialized families are byte-identical to what they
+    /// always were; streamed specs carry a `stream:` prefix.
     pub fn label(&self) -> String {
         match self {
             TopologySpec::Path { n } => format!("path({n})"),
@@ -163,6 +235,13 @@ impl TopologySpec {
             }
             TopologySpec::Gnp { n, p, graph_seed } => format!("gnp({n},p={p},g={graph_seed})"),
             TopologySpec::Custom(g) => format!("custom({})", g.node_count()),
+            TopologySpec::StreamedGrid { w, h } => format!("stream:grid({w}x{h})"),
+            TopologySpec::StreamedUnitDisk { n, radius, graph_seed } => {
+                format!("stream:unit_disk({n},r={radius},g={graph_seed})")
+            }
+            TopologySpec::StreamedGnp { n, p, graph_seed } => {
+                format!("stream:gnp({n},p={p},g={graph_seed})")
+            }
         }
     }
 }
@@ -374,6 +453,11 @@ pub struct Outcome {
     /// Aggregated MMV-schedule audit counters (zero for workloads that
     /// never run the schedule).
     pub audit: SchedAudit,
+    /// Peak resident state over the run, in bytes: the topology
+    /// representation ([`Topology::resident_bytes`]) plus the struct-level
+    /// per-node state, sampled at phase boundaries. See the README's
+    /// "Streaming topologies and memory model" for the accounting contract.
+    pub peak_state_bytes: usize,
     /// Algorithm-specific extension.
     pub detail: Detail,
 }
@@ -455,15 +539,41 @@ impl SeedMatrix {
         (count > 0).then(|| sum as f64 / count as f64)
     }
 
+    /// Completion round at the `q`-quantile (nearest-rank over the sorted
+    /// completed runs; `q` clamped to `[0, 1]`).
+    fn quantile_rounds(&self, q: f64) -> Option<u64> {
+        let mut rounds: Vec<u64> = self.completions().collect();
+        if rounds.is_empty() {
+            return None;
+        }
+        rounds.sort_unstable();
+        let rank = (q.clamp(0.0, 1.0) * (rounds.len() - 1) as f64).round() as usize;
+        Some(rounds[rank])
+    }
+
+    /// Median completion round among completed runs (nearest rank).
+    pub fn median_rounds(&self) -> Option<u64> {
+        self.quantile_rounds(0.5)
+    }
+
+    /// 95th-percentile completion round among completed runs (nearest
+    /// rank) — the tail the paper's with-high-probability bounds speak to,
+    /// where `worst_rounds` alone is too noisy across small sweeps.
+    pub fn p95_rounds(&self) -> Option<u64> {
+        self.quantile_rounds(0.95)
+    }
+
     /// One-line aggregate report (the bench table cell).
     pub fn report(&self) -> String {
         let completed = self.runs.len() - self.failures().len();
         match (self.best_rounds(), self.mean_rounds(), self.worst_rounds()) {
             (Some(best), Some(mean), Some(worst)) => {
                 let cap = self.runs.iter().map(|r| r.outcome.cap).max().unwrap_or(0);
+                let median = self.median_rounds().unwrap_or(worst);
+                let p95 = self.p95_rounds().unwrap_or(worst);
                 format!(
-                    "{}: {completed}/{} seeds completed; rounds min/mean/max = \
-                     {best}/{mean:.0}/{worst} (cap {cap})",
+                    "{}: {completed}/{} seeds completed; rounds min/median/mean/p95/max = \
+                     {best}/{median}/{mean:.0}/{p95}/{worst} (cap {cap})",
                     self.label,
                     self.runs.len(),
                 )
@@ -613,20 +723,28 @@ impl Scenario {
     }
 
     /// Builds the scenario's graph (what [`Scenario::run`] will run on).
+    /// For `Streamed*` specs this **materializes** the streamed family
+    /// ([`TopologySpec::build`]) — useful for verification, but
+    /// [`Scenario::run`] itself never calls it on a streamed spec.
     pub fn graph(&self) -> Graph {
         self.topology.build()
     }
 
-    /// Builds the graph and runs the workload once under the configured
-    /// seed.
+    /// Builds the topology and runs the workload once under the configured
+    /// seed. Materialized specs build a CSR graph (shared, not re-cloned,
+    /// across the run); `Streamed*` specs run the engine directly over the
+    /// implicit topology — `O(active frontier)` resident state instead of
+    /// `O(m)`.
     ///
     /// # Panics
     ///
-    /// Panics if the built graph is empty, or a multi-message workload has
-    /// no messages.
+    /// Panics if the built topology is empty, a multi-message workload has
+    /// no messages, a streamed spec is paired with
+    /// [`Workload::MultiKnown`] (its GST is built from global topology
+    /// knowledge), or a streamed spec is paired with a churn/mobility fault
+    /// plan (those rewrite a materialized adjacency).
     pub fn run(&self) -> Outcome {
-        let graph = self.topology.build();
-        self.run_on(&graph)
+        self.run_seed_built(&self.build_topology(), self.seed)
     }
 
     /// Runs the workload on a pre-built graph under the configured seed —
@@ -641,29 +759,53 @@ impl Scenario {
     /// Panics if the graph is empty, or a multi-message workload has no
     /// messages.
     pub fn run_on(&self, graph: &Graph) -> Outcome {
-        self.run_seed_on(graph, self.seed)
+        self.run_seed_on(&Arc::new(graph.clone()), self.seed)
     }
 
-    /// Builds the graph once and runs the workload for every seed in
-    /// `seeds`, aggregating into a [`SeedMatrix`].
+    /// Builds the topology once and runs the workload for every seed in
+    /// `seeds`, aggregating into a [`SeedMatrix`]. The built topology is
+    /// cached across the sweep: materialized graphs are shared by `Arc` (no
+    /// per-seed CSR clone), streamed topologies re-use their spatial index
+    /// and neighborhood cache.
     pub fn seeds(&self, seeds: std::ops::Range<u64>) -> SeedMatrix {
-        let graph = self.topology.build();
-        let runs =
-            seeds.map(|seed| SeedRun { seed, outcome: self.run_seed_on(&graph, seed) }).collect();
+        let built = self.build_topology();
+        let runs = seeds
+            .map(|seed| SeedRun { seed, outcome: self.run_seed_built(&built, seed) })
+            .collect();
         SeedMatrix { label: self.label(), runs }
     }
 
-    /// Runs the workload on an already-built graph. Each arm delegates to
-    /// the algorithm's engine function with exactly the arguments the
+    /// Builds the spec's topology in its natural representation: streamed
+    /// specs stay implicit, everything else materializes once into a shared
+    /// [`Arc<Graph>`].
+    fn build_topology(&self) -> BuiltTopology {
+        match (&self.topology, self.topology.streamed()) {
+            (_, Some(streamed)) => BuiltTopology::Streamed(streamed),
+            (TopologySpec::Custom(g), None) => BuiltTopology::Dense(Arc::clone(g)),
+            (spec, None) => BuiltTopology::Dense(Arc::new(spec.build())),
+        }
+    }
+
+    /// Dispatches a built topology to the generic runner.
+    fn run_seed_built(&self, built: &BuiltTopology, seed: u64) -> Outcome {
+        match built {
+            BuiltTopology::Dense(g) => self.run_seed_on(g, seed),
+            BuiltTopology::Streamed(t) => self.run_seed_on(t, seed),
+        }
+    }
+
+    /// Runs the workload on an already-built topology. Each arm delegates
+    /// to the algorithm's engine function with exactly the arguments the
     /// legacy call sites passed, so runs are bit-identical to the free
-    /// functions (pinned by `tests/e2e_scenario.rs`).
-    fn run_seed_on(&self, graph: &Graph, seed: u64) -> Outcome {
-        let params = self.params.clone().unwrap_or_else(|| Params::scaled(graph.node_count()));
+    /// functions (pinned by `tests/e2e_scenario.rs`); the topology only
+    /// changes *where* neighborhoods come from, never what they contain.
+    fn run_seed_on<T: Topology + Clone>(&self, topo: &T, seed: u64) -> Outcome {
+        let params = self.params.clone().unwrap_or_else(|| Params::scaled(topo.node_count()));
         let mode = self.mode.unwrap_or_else(|| self.workload.default_mode());
         match &self.workload {
             Workload::Single { payload } => {
-                let out = broadcast_single_faulted(
-                    graph,
+                let out = broadcast_single_on(
+                    topo.clone(),
                     self.source,
                     *payload,
                     &params,
@@ -678,6 +820,7 @@ impl Scenario {
                     phases: out.phases.into(),
                     stats: out.stats,
                     audit: out.audit,
+                    peak_state_bytes: out.peak_state_bytes,
                     detail: Detail::Single {
                         plan: out.plan,
                         fallbacks: out.fallbacks,
@@ -686,6 +829,11 @@ impl Scenario {
                 }
             }
             Workload::MultiKnown { messages, slow_key, empty } => {
+                let graph = topo.as_graph().expect(
+                    "Workload::MultiKnown builds its GST centrally from global \
+                     topology knowledge and needs a materialized graph; streamed \
+                     topologies support Single, MultiUnknown and Baseline workloads",
+                );
                 let mut opts =
                     KnownRunOpts::new().with_slow_key(*slow_key).with_empty(*empty).with_mode(mode);
                 if let Some(cap) = self.round_cap {
@@ -706,6 +854,7 @@ impl Scenario {
                     phases: out.phases.into(),
                     stats: out.stats,
                     audit: out.audit,
+                    peak_state_bytes: out.peak_state_bytes,
                     detail: Detail::MultiKnown { slow_key: *slow_key, empty: *empty },
                 }
             }
@@ -714,8 +863,8 @@ impl Scenario {
                     .with_mode(mode)
                     .with_pacing(self.pacing)
                     .with_fec_repair(self.fec_repair);
-                let out = broadcast_unknown_faulted(
-                    graph,
+                let out = broadcast_unknown_on(
+                    topo.clone(),
                     self.source,
                     messages,
                     &params,
@@ -727,7 +876,7 @@ impl Scenario {
                 // here (deterministic) so the typed detail carries the full
                 // ring/batch geometry, not just the cap. The cap check below
                 // keeps this derivation honest if the engine's ever changes.
-                let d = graph.bfs(self.source).max_level();
+                let d = bfs_layering(topo, &[self.source]).max_level();
                 let plan = GhkMultiPlan::new_adaptive(&params, d.max(1), messages.len(), *batch);
                 assert_eq!(
                     plan.total_rounds(),
@@ -740,31 +889,32 @@ impl Scenario {
                     phases: out.phases.into(),
                     stats: out.stats,
                     audit: out.audit,
+                    peak_state_bytes: out.peak_state_bytes,
                     detail: Detail::MultiUnknown { plan, fallback_entry: out.fallback_entry },
                 }
             }
-            Workload::Baseline(algo) => self.run_baseline(graph, &params, mode, seed, *algo),
+            Workload::Baseline(algo) => self.run_baseline(topo, &params, mode, seed, *algo),
         }
     }
 
     /// Runs a baseline comparator with the wiring the hand-rolled
     /// comparison loops used (delivery-gated completion scans; informedness
     /// flips only on receptions, so the policy is exact).
-    fn run_baseline(
+    fn run_baseline<T: Topology + Clone>(
         &self,
-        graph: &Graph,
+        topo: &T,
         params: &Params,
         mode: CollisionMode,
         seed: u64,
         algo: Algo,
     ) -> Outcome {
-        assert!(graph.node_count() > 0, "graph must be non-empty");
+        assert!(topo.node_count() > 0, "graph must be non-empty");
         let cap = self.round_cap.unwrap_or(BASELINE_ROUND_CAP);
         let source = self.source;
-        let (completion_round, stats) = match algo {
+        let (completion_round, stats, peak_state_bytes) = match algo {
             Algo::Decay { payload } => {
                 let mut sim = Simulator::new_with_faults(
-                    graph.clone(),
+                    topo.clone(),
                     mode,
                     seed,
                     self.faults.clone(),
@@ -773,13 +923,15 @@ impl Scenario {
                 let done = sim.run_until_with(cap, DoneCheck::OnDelivery, |ns| {
                     ns.iter().all(DecayBroadcast::is_informed)
                 });
-                (done, sim.stats().clone())
+                let peak = sim.graph().resident_bytes() + std::mem::size_of_val(sim.nodes());
+                (done, sim.stats().clone(), peak)
             }
             Algo::MmvDecay { payload, noise } => {
-                let layering = graph.bfs(source);
-                let levels: Vec<u32> = graph.node_ids().map(|v| layering.level(v)).collect();
+                let layering = bfs_layering(topo, &[source]);
+                let levels: Vec<u32> =
+                    (0..topo.node_count()).map(|i| layering.level(NodeId::new(i))).collect();
                 let mut sim = Simulator::new_with_faults(
-                    graph.clone(),
+                    topo.clone(),
                     mode,
                     seed,
                     self.faults.clone(),
@@ -795,7 +947,8 @@ impl Scenario {
                 let done = sim.run_until_with(cap, DoneCheck::OnDelivery, |ns| {
                     ns.iter().all(MmvDecayBroadcast::is_informed)
                 });
-                (done, sim.stats().clone())
+                let peak = sim.graph().resident_bytes() + std::mem::size_of_val(sim.nodes());
+                (done, sim.stats().clone(), peak)
             }
         };
         Outcome {
@@ -804,9 +957,20 @@ impl Scenario {
             phases: Phases { disseminate: stats.rounds, ..Phases::default() },
             stats,
             audit: SchedAudit::default(),
+            peak_state_bytes,
             detail: Detail::Baseline { algo },
         }
     }
+}
+
+/// A spec's topology in the representation [`Scenario::run`] executes on:
+/// materialized specs share one CSR graph behind an [`Arc`] (cloned per run
+/// in `O(1)`), streamed specs keep the implicit generator.
+enum BuiltTopology {
+    /// A materialized, shared CSR graph.
+    Dense(Arc<Graph>),
+    /// A streamed topology; neighborhoods are computed on demand.
+    Streamed(ImplicitGraph),
 }
 
 #[cfg(test)]

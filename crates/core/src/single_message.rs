@@ -68,10 +68,12 @@ use crate::params::Params;
 use crate::schedule::{
     EmptyBehavior, MmvScheduleNode, SchedAudit, SchedLabels, SchedMsg, ScheduleConfig, SlowKey,
 };
+use radio_sim::graph::bfs_layering;
 use radio_sim::model::PacketBits;
 use radio_sim::trace::{RoundStats, RunStats};
 use radio_sim::{
-    Action, CollisionMode, FaultPlan, Graph, NodeId, Observation, Protocol, Simulator, Wake,
+    Action, CollisionMode, FaultPlan, Graph, NodeId, Observation, Protocol, Simulator, Topology,
+    Wake,
 };
 use rand::rngs::SmallRng;
 use rlnc::gf2::BitVec;
@@ -318,19 +320,36 @@ impl Ghk1Plan {
 }
 
 /// One node of the Theorem 1.1 pipeline.
+///
+/// Memory model: the node shell holds only the always-needed state (wave,
+/// ring, payload, Decay counters) plus `Rc` handles to the run-wide
+/// [`Params`]/[`Ghk1Plan`]; the heavyweight construction and MMV-schedule
+/// sub-states are boxed and *phase-scoped* — construction state springs into
+/// existence when the node's ring starts constructing and is dropped at
+/// finalization (its labels and accounting
+/// survive inline), and schedule state lives only while the node's ring is
+/// broadcasting (retired by the driver once the ring's handoff closes). At
+/// any round, resident state tracks the active frontier instead of
+/// accumulating `O(n)` copies of every sub-protocol.
 #[derive(Clone, Debug)]
 pub struct Ghk1Node {
     id: u32,
-    params: Params,
-    plan: Ghk1Plan,
+    params: Rc<Params>,
+    plan: Rc<Ghk1Plan>,
     step: StepCell,
     wave: CollisionWaveLayering,
     /// Frontier reached this node since the last wave status round.
     wave_dirty: bool,
     /// Ring index and ring-local level, known after the wave.
     ring: Option<(u32, u32)>,
-    cons: Option<GstConstructionNode>,
-    sched: Option<MmvScheduleNode>,
+    cons: Option<Box<GstConstructionNode>>,
+    sched: Option<Box<MmvScheduleNode>>,
+    /// Broadcast-schedule labels, extracted when construction state retires.
+    labels: Option<SchedLabels>,
+    /// Construction accounting kept after the construction state is dropped.
+    cons_stats: Option<crate::construction::NodeStats>,
+    /// Audit counters absorbed from retired schedule state.
+    audit_acc: SchedAudit,
     message: Option<u64>,
     decay: DecaySchedule,
     /// Whether this node emits real segment wake hints ([`Pacing::Segment`])
@@ -340,17 +359,19 @@ pub struct Ghk1Node {
 
 impl Ghk1Node {
     /// A pipeline node; the source holds `message`. All nodes of one run
-    /// share the `step` cell (the materialized phase cursor).
+    /// share the `step` cell (the materialized phase cursor) and the
+    /// `params`/`plan` handles (one allocation per run, not per node).
     pub fn new(
-        params: &Params,
-        plan: Ghk1Plan,
+        params: Rc<Params>,
+        plan: Rc<Ghk1Plan>,
         step: StepCell,
         id: u32,
         message: Option<u64>,
     ) -> Self {
+        let decay = DecaySchedule::new(params.decay_phase_len());
         Ghk1Node {
             id,
-            params: params.clone(),
+            params,
             plan,
             step,
             wave: CollisionWaveLayering::new(message.is_some()),
@@ -358,8 +379,11 @@ impl Ghk1Node {
             ring: None,
             cons: None,
             sched: None,
+            labels: None,
+            cons_stats: None,
+            audit_acc: SchedAudit::default(),
             message,
-            decay: DecaySchedule::new(params.decay_phase_len()),
+            decay,
             seg_hints: true,
         }
     }
@@ -373,7 +397,7 @@ impl Ghk1Node {
 
     /// Whether this node holds (or has decoded) the message.
     pub fn has_message(&self) -> bool {
-        self.message.is_some() || self.sched.as_ref().is_some_and(MmvScheduleNode::is_complete)
+        self.message.is_some() || self.sched.as_ref().is_some_and(|s| s.is_complete())
     }
 
     /// The message, once held.
@@ -386,14 +410,31 @@ impl Ghk1Node {
         self.wave.level()
     }
 
-    /// Schedule audit counters from the broadcast phase.
+    /// Schedule audit counters from the broadcast phase: the counters
+    /// absorbed from retired schedule state plus any still-live schedule.
     pub fn audit(&self) -> SchedAudit {
-        self.sched.as_ref().map(|s| s.audit()).unwrap_or_default()
+        let mut a = self.audit_acc;
+        if let Some(s) = &self.sched {
+            a.absorb(s.audit());
+        }
+        a
     }
 
-    /// Construction fallback/orphan accounting.
+    /// Construction fallback/orphan accounting (kept after the construction
+    /// state itself is dropped).
     pub fn construction_stats(&self) -> Option<crate::construction::NodeStats> {
-        self.cons.as_ref().map(|c| c.stats())
+        self.cons.as_ref().map(|c| c.stats()).or(self.cons_stats)
+    }
+
+    /// Resident bytes of this node's protocol state, at struct granularity:
+    /// the shell plus each live boxed sub-state at its `size_of`. Internal
+    /// heap of the sub-states (recruiting buffers, decoder rows) is excluded
+    /// on both sides of the streamed-vs-materialized comparison, as are the
+    /// engine's own `O(n)` buffers — see the README's memory-model section.
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.cons.as_ref().map_or(0, |_| std::mem::size_of::<GstConstructionNode>())
+            + self.sched.as_ref().map_or(0, |_| std::mem::size_of::<MmvScheduleNode>())
     }
 
     /// Harvests the decoded message out of the schedule node, if complete.
@@ -427,21 +468,56 @@ impl Ghk1Node {
         self.ensure_ring();
         if self.cons.is_none() {
             if let Some((_, ring_level)) = self.ring {
-                self.cons = Some(GstConstructionNode::new(
+                self.cons = Some(Box::new(GstConstructionNode::new(
                     &self.params,
                     self.plan.cons,
                     self.id,
                     ring_level,
-                ));
+                )));
             }
         }
     }
 
     /// Applies the construction epilogue once the phase is announced over
-    /// (pending recruiting-part results + the unassigned-blue fallback).
+    /// (pending recruiting-part results + the unassigned-blue fallback),
+    /// then retires the construction state: the broadcast-schedule labels
+    /// and the fallback/orphan accounting move inline and the
+    /// [`GstConstructionNode`] itself is dropped. Only repair rungs rebuild
+    /// it, from scratch.
     fn finalize_construction(&mut self) {
-        if let Some(c) = self.cons.as_mut() {
+        if let Some(mut c) = self.cons.take() {
             c.finalize();
+            let l = c.labels();
+            self.labels = Some(SchedLabels {
+                level: l.level,
+                rank: l.rank,
+                vdist: 0,
+                stretch_start: l.is_stretch_start(),
+                fast_transmitter: l.has_stretch_child,
+                in_stretch: l.in_stretch(),
+            });
+            self.cons_stats = Some(c.stats());
+        }
+    }
+
+    /// Absorbs and drops the schedule state (the payload must already be
+    /// harvested by the caller when it matters).
+    fn retire_sched(&mut self) {
+        if let Some(s) = self.sched.take() {
+            self.audit_acc.absorb(s.audit());
+        }
+    }
+
+    /// Driver echo retiring a ring whose broadcast and outgoing handoff
+    /// windows have closed: the decoded payload is harvested into the shell
+    /// and the ring's schedule state is dropped (audit counters absorbed),
+    /// so resident state follows the active ring frontier. Safe because a
+    /// retired ring's nodes only ever read `message`/`decay` afterwards, and
+    /// every repair path rebuilds through `ensure_*` from scratch.
+    fn retire_ring(&mut self, ring: u32) {
+        if self.ring.is_some_and(|(r, _)| r == ring) {
+            self.harvest();
+            self.retire_sched();
         }
     }
 
@@ -453,8 +529,9 @@ impl Ghk1Node {
         self.ensure_ring();
         if self.ring.is_some_and(|(r, _)| r == ring) {
             self.harvest();
+            self.retire_sched();
             self.cons = None;
-            self.sched = None;
+            self.labels = None;
         }
     }
 
@@ -469,16 +546,10 @@ impl Ghk1Node {
 
     fn ensure_sched(&mut self) {
         if self.sched.is_none() {
-            if let (Some(cons), Some((_, _))) = (&self.cons, self.ring) {
-                let l = cons.labels();
-                let labels = SchedLabels {
-                    level: l.level,
-                    rank: l.rank,
-                    vdist: 0,
-                    stretch_start: l.is_stretch_start(),
-                    fast_transmitter: l.has_stretch_child,
-                    in_stretch: l.in_stretch(),
-                };
+            // Labels were extracted when the construction state retired
+            // (`finalize_construction`), so the schedule springs into
+            // existence without the construction node being resident.
+            if let (Some(labels), Some((_, _))) = (self.labels, self.ring) {
                 let cfg = ScheduleConfig {
                     log_n: self.params.log_n,
                     slow_key: SlowKey::Level,
@@ -488,7 +559,7 @@ impl Ghk1Node {
                 if let Some(m) = self.message {
                     node = node.with_messages(&[BitVec::from_u64(m, 64)]);
                 }
-                self.sched = Some(node);
+                self.sched = Some(Box::new(node));
             }
         }
     }
@@ -827,7 +898,7 @@ impl Ghk1Node {
                 }
                 // A late holder (handoff) seeds the schedule decoder lazily.
                 if offset == 0 {
-                    if let (Some(m), Some(s)) = (self.message, &mut self.sched) {
+                    if let (Some(m), Some(s)) = (self.message, self.sched.as_deref_mut()) {
                         if s.decoder().is_empty() {
                             *s = s.clone().with_messages(&[BitVec::from_u64(m, 64)]);
                         }
@@ -946,15 +1017,20 @@ pub struct Ghk1Outcome {
     /// Round at which the driver armed the rung-3 no-knowledge Decay flood,
     /// `None` if the run never fell back that far.
     pub fallback_entry: Option<u64>,
+    /// Peak resident bytes of topology plus protocol state, sampled at phase
+    /// boundaries (struct-level accounting: topology representation, node
+    /// shells, live boxed sub-states; engine buffers and sub-state internal
+    /// heap excluded on all paths — see the README's memory-model section).
+    pub peak_state_bytes: usize,
 }
 
 /// The adaptive pipeline driver: owns the simulator and the shared phase
 /// cursor, advances phases on status-round quiescence, and hard-caps every
 /// phase at its [`Ghk1Plan`] budget.
-struct Driver {
-    sim: Simulator<Ghk1Node>,
+struct Driver<T: Topology> {
+    sim: Simulator<Ghk1Node, T>,
     step: StepCell,
-    plan: Ghk1Plan,
+    plan: Rc<Ghk1Plan>,
     beep: u64,
     quiescence_slack: u32,
     cons_status_left: u64,
@@ -968,14 +1044,25 @@ struct Driver {
     recovery: bool,
     /// Rung bookkeeping for the staged recovery ladder.
     ladder: Ladder,
+    /// Peak of the phase-boundary node-state samples (see `sample_state`).
+    peak_nodes: usize,
 }
 
-impl Driver {
+impl<T: Topology> Driver<T> {
     /// Moves the shared cursor: every cell change force-wakes all nodes
     /// (their hints were computed against the outgoing cell).
     fn publish(&mut self, step: Step) {
         self.sim.wake_all();
         self.step.set(step);
+    }
+
+    /// Samples the resident protocol state (an `O(n)` sweep, run only at
+    /// phase boundaries) and folds it into the peak. The phase structure
+    /// makes boundary sampling exact enough: sub-states are created and
+    /// retired only at the boundaries the driver itself publishes.
+    fn sample_state(&mut self) {
+        let nodes: usize = self.sim.nodes().iter().map(Ghk1Node::resident_bytes).sum();
+        self.peak_nodes = self.peak_nodes.max(nodes);
     }
 
     fn exec(&mut self, step: Step) -> RoundStats {
@@ -1085,7 +1172,7 @@ impl Driver {
         let start = self.sim.round();
         let mut offset = 0u64;
         let mut quiet_streak = 0u32;
-        let spent = |sim: &Simulator<Ghk1Node>| sim.round() - start;
+        let spent = |sim: &Simulator<Ghk1Node, T>| sim.round() - start;
         while spent(&self.sim) < budget && !self.done() {
             let run = self.exec_segment(pos_at(offset), self.beep.min(budget - spent(&self.sim)));
             *count(&mut self.phases) += run;
@@ -1214,8 +1301,12 @@ impl Driver {
             let cons = self.plan.cons;
             drive_construction(&mut self, cons);
         }
+        // All rings constructed in parallel, so this is the run's resident
+        // peak: every layered node holds live construction state.
+        self.sample_state();
         // End-of-construction echo: every node runs its local block epilogue
-        // (pending recruiting results + unassigned-blue fallback). The fixed
+        // (pending recruiting results + unassigned-blue fallback), then
+        // retires its construction state (labels move inline). The fixed
         // schedule reaches this state lazily through later blocks' rounds;
         // the adaptive driver may have skipped those blocks entirely.
         for i in 0..self.sim.nodes().len() {
@@ -1231,6 +1322,9 @@ impl Driver {
                 |offset| PhasePos::Broadcast { ring, offset },
                 |p| &mut p.broadcast,
             );
+            // The ring's schedule state is live now; sample before anything
+            // retires it.
+            self.sample_state();
             if ring + 1 < self.plan.ring_count && !self.done() {
                 // Handoff with retry-and-backoff: a window that exhausts its
                 // budget while the receiving roots still beep is a *failed*
@@ -1275,6 +1369,13 @@ impl Driver {
                     self.sim.stats_mut().retries += 1;
                 }
             }
+            // Ring `ring` is done transmitting its schedule (its broadcast
+            // window closed and its outgoing handoff — if any — resolved):
+            // retire its schedule state so resident memory tracks the active
+            // frontier. Repair rungs rebuild from scratch if ever needed.
+            for i in 0..self.sim.nodes().len() {
+                self.sim.node_mut(NodeId::new(i)).retire_ring(ring);
+            }
         }
 
         // Staged-ladder epilogue: a faulted run that ends uninformed climbs
@@ -1306,6 +1407,7 @@ impl Driver {
             }
         }
 
+        self.sample_state();
         let mut audit = SchedAudit::default();
         let mut fallbacks = 0;
         for n in self.sim.nodes() {
@@ -1316,17 +1418,18 @@ impl Driver {
         }
         Ghk1Outcome {
             completion_round: self.completion,
-            plan: self.plan,
+            plan: *self.plan,
             phases: self.phases,
             stats: self.sim.stats().clone(),
             audit,
             fallbacks,
             fallback_entry: self.ladder.fallback_entry(),
+            peak_state_bytes: self.sim.graph().resident_bytes() + self.peak_nodes,
         }
     }
 }
 
-impl ConsDriver for Driver {
+impl<T: Topology> ConsDriver for Driver<T> {
     fn cons_quiet(&mut self, probe: ConsProbe) -> Option<bool> {
         self.cons_quiet_impl(probe)
     }
@@ -1349,12 +1452,12 @@ impl ConsDriver for Driver {
 /// to one failed ring. Status rounds draw from the repair status budget and
 /// work segments are clamped to the remaining worst-case pool, so a repair
 /// can never outgrow the plan's cap.
-struct RingRepair<'a> {
-    drv: &'a mut Driver,
+struct RingRepair<'a, T: Topology> {
+    drv: &'a mut Driver<T>,
     ring: u32,
 }
 
-impl ConsDriver for RingRepair<'_> {
+impl<T: Topology> ConsDriver for RingRepair<'_, T> {
     fn cons_quiet(&mut self, probe: ConsProbe) -> Option<bool> {
         if self.drv.repair_status_left == 0 || self.drv.budget_left() == 0 {
             return None;
@@ -1453,28 +1556,66 @@ pub fn broadcast_single_faulted(
     pacing: Pacing,
     faults: &FaultPlan,
 ) -> Ghk1Outcome {
-    use radio_sim::graph::Traversal;
-    assert!(graph.node_count() > 0, "graph must be non-empty");
-    let d = graph.bfs(source).max_level();
-    let plan = Ghk1Plan::new(params, d.max(1));
+    broadcast_single_on(graph.clone(), source, payload, params, seed, mode, pacing, faults)
+}
+
+/// The fully generic Theorem 1.1 entry point: runs the pipeline over any
+/// [`Topology`] — a materialized [`Graph`], a shared `Arc<Graph>` (no CSR
+/// clone per run), or a streamed
+/// [`ImplicitGraph`](radio_sim::ImplicitGraph), whose million-node runs
+/// never materialize `O(m)` adjacency. All other single-message entry points
+/// collapse onto this one.
+///
+/// The run — trace, statistics, RNG streams, completion round — depends only
+/// on the neighborhoods the topology reports, so a streamed run is
+/// bit-identical to the same run over its materialization
+/// (`tests/streamed_topology.rs` pins this).
+///
+/// # Panics
+///
+/// Panics if the topology is empty, or if `faults` enables churn/mobility
+/// over a topology that is not a materialized `Graph` (those fault classes
+/// rewrite the topology; see [`Simulator::new_with_faults`]).
+#[expect(clippy::too_many_arguments, reason = "explicit-knob variant of broadcast_single_with")]
+pub fn broadcast_single_on<T: Topology>(
+    topology: T,
+    source: NodeId,
+    payload: u64,
+    params: &Params,
+    seed: u64,
+    mode: CollisionMode,
+    pacing: Pacing,
+    faults: &FaultPlan,
+) -> Ghk1Outcome {
+    assert!(topology.node_count() > 0, "graph must be non-empty");
+    let d = bfs_layering(&topology, &[source]).max_level();
+    let plan = Rc::new(Ghk1Plan::new(params, d.max(1)));
+    let params = Rc::new(params.clone());
     let step: StepCell = Rc::new(Cell::new(Step::Idle));
-    let sim = Simulator::new_with_faults(graph.clone(), mode, seed, faults.clone(), |id| {
-        Ghk1Node::new(params, plan, Rc::clone(&step), id.raw(), (id == source).then_some(payload))
-            .with_pacing(pacing)
+    let sim = Simulator::new_with_faults(topology, mode, seed, faults.clone(), |id| {
+        Ghk1Node::new(
+            Rc::clone(&params),
+            Rc::clone(&plan),
+            Rc::clone(&step),
+            id.raw(),
+            (id == source).then_some(payload),
+        )
+        .with_pacing(pacing)
     });
     let recovery = sim.has_faults();
     Driver {
         sim,
         step,
-        plan,
         beep: u64::from(params.beep_interval.max(1)),
         quiescence_slack: params.quiescence_slack,
         cons_status_left: plan.cons_status,
         repair_status_left: 0,
+        plan,
         phases: PhaseRounds::default(),
         completion: None,
         recovery,
         ladder: Ladder::new(),
+        peak_nodes: 0,
     }
     .run()
 }

@@ -228,14 +228,22 @@ pub(crate) struct FaultState {
 }
 
 impl FaultState {
-    /// Builds the fault state for a simulator over `graph` seeded with
-    /// `master_seed`.
+    /// Builds the fault state for a simulator over an `n`-node topology
+    /// seeded with `master_seed`. `base_edges` is the fault-free edge list
+    /// that churn masks and mobility re-samples apply to; plans without
+    /// either class never read it, so the engine passes an empty list (and
+    /// streamed topologies, which cannot harvest one, stay supported for
+    /// erasure/jammer plans).
     ///
     /// # Panics
     ///
-    /// Panics if a jammer's node is out of bounds for the graph.
-    pub(crate) fn new(plan: FaultPlan, master_seed: u64, graph: &Graph) -> Self {
-        let n = graph.node_count();
+    /// Panics if a jammer's node is out of bounds for the topology.
+    pub(crate) fn new(
+        plan: FaultPlan,
+        master_seed: u64,
+        n: usize,
+        base_edges: Vec<(u32, u32)>,
+    ) -> Self {
         for j in &plan.jammers {
             assert!(
                 (j.node as usize) < n,
@@ -243,7 +251,6 @@ impl FaultState {
                 j.node
             );
         }
-        let base_edges: Vec<(u32, u32)> = graph.edges().map(|(u, v)| (u.raw(), v.raw())).collect();
         let edge_down = vec![false; base_edges.len()];
         FaultState {
             plan,
@@ -342,6 +349,13 @@ mod tests {
     use super::*;
     use crate::graph::Traversal;
 
+    /// Builds a [`FaultState`] over a materialized graph, the way the engine
+    /// does for churn/mobility-capable plans.
+    fn state(plan: FaultPlan, seed: u64, g: &Graph) -> FaultState {
+        let base = g.edges().map(|(u, v)| (u.raw(), v.raw())).collect();
+        FaultState::new(plan, seed, g.node_count(), base)
+    }
+
     #[test]
     fn none_plan_is_none_and_labelled() {
         assert!(FaultPlan::none().is_none());
@@ -396,11 +410,11 @@ mod tests {
     fn next_event_round_covers_all_classes() {
         let g = generators::path(6);
         let plan = FaultPlan::none().with_jammer(1, 7, 3).with_churn(10, 0.1, 0.1);
-        let f = FaultState::new(plan, 0, &g);
+        let f = state(plan, 0, &g);
         assert_eq!(f.next_event_round(0), 3);
         assert_eq!(f.next_event_round(4), 10);
         assert_eq!(f.next_event_round(11), 17);
-        let none = FaultState::new(FaultPlan::none().with_erasure(0.5), 0, &g);
+        let none = state(FaultPlan::none().with_erasure(0.5), 0, &g);
         assert_eq!(none.next_event_round(0), NO_EVENT);
     }
 
@@ -408,7 +422,7 @@ mod tests {
     fn churn_masks_rebuild_valid_graphs() {
         let g = generators::cluster_chain(4, 4);
         let n = g.node_count();
-        let mut f = FaultState::new(FaultPlan::none().with_churn(1, 0.2, 0.2), 42, &g);
+        let mut f = state(FaultPlan::none().with_churn(1, 0.2, 0.2), 42, &g);
         for round in 1..50 {
             let (rebuilt, _) = f.apply_topology(round, n);
             if let Some(cur) = rebuilt {
@@ -427,7 +441,7 @@ mod tests {
     fn down_node_is_isolated() {
         let g = generators::complete(5);
         let n = g.node_count();
-        let mut f = FaultState::new(FaultPlan::none().with_churn(1, 0.0, 0.0), 0, &g);
+        let mut f = state(FaultPlan::none().with_churn(1, 0.0, 0.0), 0, &g);
         f.node_down[2] = true;
         let cur = f.current_graph(n);
         assert_eq!(cur.degree(crate::NodeId::new(2)), 0);
@@ -438,7 +452,7 @@ mod tests {
     fn mobility_resamples_the_base_graph() {
         let g = generators::path(30);
         let n = g.node_count();
-        let mut f = FaultState::new(FaultPlan::none().with_mobility(0.4, 10), 7, &g);
+        let mut f = state(FaultPlan::none().with_mobility(0.4, 10), 7, &g);
         let (none, _) = f.apply_topology(5, n);
         assert!(none.is_none(), "no epoch boundary at round 5");
         let (some, events) = f.apply_topology(10, n);
@@ -454,7 +468,7 @@ mod tests {
         let n = g.node_count();
         let plan = FaultPlan::none().with_churn(2, 0.1, 0.1).with_mobility(0.3, 6);
         let run = |seed: u64| {
-            let mut f = FaultState::new(plan.clone(), seed, &g);
+            let mut f = state(plan.clone(), seed, &g);
             (1..30).map(|r| f.apply_topology(r, n).1).collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
@@ -465,6 +479,6 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn jammer_out_of_bounds_is_rejected() {
         let g = generators::path(3);
-        FaultState::new(FaultPlan::none().with_jammer(3, 1, 0), 0, &g);
+        state(FaultPlan::none().with_jammer(3, 1, 0), 0, &g);
     }
 }

@@ -2,7 +2,7 @@
 
 pub mod faults;
 
-use crate::graph::Graph;
+use crate::graph::{Graph, Topology};
 use crate::ids::NodeId;
 use crate::model::{Action, CollisionMode, Observation, Packet};
 use crate::rng;
@@ -178,9 +178,16 @@ pub struct SegmentRun {
 
 /// Deterministic synchronous simulator of the radio network model.
 ///
+/// Generic over its [`Topology`]: the default `T = Graph` simulates a
+/// materialized CSR graph exactly as before, while `T = ImplicitGraph`
+/// streams neighborhoods on demand so million-node runs never hold `O(m)`
+/// adjacency in memory. The executed round sequence, statistics and RNG
+/// streams depend only on the neighborhoods a topology reports, so a
+/// streamed run is bit-identical to the same run over its materialization.
+///
 /// See the [crate docs](crate) for the model and a complete example.
-pub struct Simulator<P: Protocol> {
-    graph: Graph,
+pub struct Simulator<P: Protocol, T: Topology = Graph> {
+    graph: T,
     mode: CollisionMode,
     nodes: Vec<P>,
     rngs: Vec<SmallRng>,
@@ -233,11 +240,11 @@ const WAKE_IDLE: u64 = u64::MAX;
 /// allocating far queue only sees long sleeps.
 const WHEEL: u64 = 64;
 
-impl<P: Protocol> Simulator<P> {
+impl<P: Protocol, T: Topology> Simulator<P, T> {
     /// Creates a simulator over `graph` with the given collision mode and
     /// master seed; `init` constructs each node's protocol state.
     pub fn new(
-        graph: Graph,
+        graph: T,
         mode: CollisionMode,
         master_seed: u64,
         init: impl FnMut(NodeId) -> P,
@@ -252,15 +259,37 @@ impl<P: Protocol> Simulator<P> {
     /// ([`rng::fault_stream_rng`]), disjoint from the per-node protocol
     /// streams: with [`FaultPlan::none`] (or any all-no-op plan) the
     /// protocol trace is bit-identical to [`Simulator::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan enables churn or mobility and `graph` is not a
+    /// materialized [`Graph`]: those fault classes rewrite the topology,
+    /// which a streamed topology cannot express. Erasure and jammer faults
+    /// work on every topology.
     pub fn new_with_faults(
-        graph: Graph,
+        graph: T,
         mode: CollisionMode,
         master_seed: u64,
         faults: FaultPlan,
         mut init: impl FnMut(NodeId) -> P,
     ) -> Self {
         let n = graph.node_count();
-        let faults = (!faults.is_none()).then(|| FaultState::new(faults, master_seed, &graph));
+        let faults = (!faults.is_none()).then(|| {
+            // Churn masks and mobility re-samples rebuild the graph from its
+            // base edge list, so those plans are clamped to materialized
+            // topologies; erasure/jammer plans never read base edges.
+            let base_edges = if faults.churn.is_some() || faults.mobility.is_some() {
+                let g = graph.as_graph().expect(
+                    "churn/mobility fault plans rewrite the topology and need a \
+                     materialized `Graph`; streamed topologies support erasure \
+                     and jammer faults only",
+                );
+                g.edges().map(|(u, v)| (u.raw(), v.raw())).collect()
+            } else {
+                Vec::new()
+            };
+            FaultState::new(faults, master_seed, n, base_edges)
+        });
         let nodes: Vec<P> = (0..n).map(|i| init(NodeId::new(i))).collect();
         let rngs: Vec<SmallRng> = (0..n).map(|i| rng::stream_rng(master_seed, i as u64)).collect();
         let mut sim = Simulator {
@@ -497,7 +526,10 @@ impl<P: Protocol> Simulator<P> {
             let (rebuilt, events) = f.apply_topology(round, n);
             churn_events = events;
             if let Some(g) = rebuilt {
-                self.graph = g;
+                // Only churn/mobility plans rebuild, and those are clamped to
+                // materialized topologies at construction, so `replace` never
+                // hits a streamed topology's panic.
+                self.graph.replace(g);
             }
         }
 
@@ -556,43 +588,57 @@ impl<P: Protocol> Simulator<P> {
         // path.
         self.touched.clear();
         let mut erased = 0usize;
-        let mut erasure: Option<(f64, &mut SmallRng)> = match self.faults.as_mut() {
-            Some(f) => f.plan.erasure.map(|p| (p, &mut f.erasure_rng)),
-            None => None,
-        };
-        for (t_idx, (sender, _)) in self.txs.iter().enumerate() {
-            for &v in self.graph.neighbors(*sender) {
-                if let Some((p, rng)) = erasure.as_mut() {
-                    if rng.gen_bool(*p) {
-                        erased += 1;
+        let mut jammed = 0usize;
+        {
+            // Disjoint field borrows: the topology lends neighborhoods out
+            // through `with_neighbors` closures that mutate the channel
+            // counters, so both sides are pinned to locals up front.
+            let graph = &self.graph;
+            let txs = &self.txs;
+            let tx_count = &mut self.tx_count;
+            let tx_from = &mut self.tx_from;
+            let touched = &mut self.touched;
+            let mut erasure: Option<(f64, &mut SmallRng)> = match self.faults.as_mut() {
+                Some(f) => f.plan.erasure.map(|p| (p, &mut f.erasure_rng)),
+                None => None,
+            };
+            for (t_idx, (sender, _)) in txs.iter().enumerate() {
+                graph.with_neighbors(*sender, |nbrs| {
+                    for &v in nbrs {
+                        if let Some((p, rng)) = erasure.as_mut() {
+                            if rng.gen_bool(*p) {
+                                erased += 1;
+                                continue;
+                            }
+                        }
+                        if tx_count[v.index()] == 0 {
+                            touched.push(v.index() as u32);
+                        }
+                        tx_count[v.index()] += 1;
+                        tx_from[v.index()] = t_idx as u32;
+                    }
+                });
+            }
+
+            // Active jammers flood their neighborhood with interference:
+            // every neighbor sees two extra virtual transmitters, so its
+            // channel resolves to a collision regardless of what (if
+            // anything) survived erasure. `tx_from` is never read at counts
+            // != 1, so the virtual transmitters need no packet.
+            if let Some(f) = self.faults.as_ref() {
+                for j in &f.plan.jammers {
+                    if !j.active(round) {
                         continue;
                     }
-                }
-                if self.tx_count[v.index()] == 0 {
-                    self.touched.push(v.index() as u32);
-                }
-                self.tx_count[v.index()] += 1;
-                self.tx_from[v.index()] = t_idx as u32;
-            }
-        }
-
-        // Active jammers flood their neighborhood with interference: every
-        // neighbor sees two extra virtual transmitters, so its channel
-        // resolves to a collision regardless of what (if anything) survived
-        // erasure. `tx_from` is never read at counts != 1, so the virtual
-        // transmitters need no packet.
-        let mut jammed = 0usize;
-        if let Some(f) = self.faults.as_ref() {
-            for j in &f.plan.jammers {
-                if !j.active(round) {
-                    continue;
-                }
-                for &v in self.graph.neighbors(NodeId::new(j.node as usize)) {
-                    if self.tx_count[v.index()] == 0 {
-                        self.touched.push(v.index() as u32);
-                    }
-                    self.tx_count[v.index()] += 2;
-                    jammed += 1;
+                    graph.with_neighbors(NodeId::new(j.node as usize), |nbrs| {
+                        for &v in nbrs {
+                            if tx_count[v.index()] == 0 {
+                                touched.push(v.index() as u32);
+                            }
+                            tx_count[v.index()] += 2;
+                            jammed += 1;
+                        }
+                    });
                 }
             }
         }
@@ -809,8 +855,9 @@ impl<P: Protocol> Simulator<P> {
         None
     }
 
-    /// The simulated graph.
-    pub fn graph(&self) -> &Graph {
+    /// The simulated topology (a materialized [`Graph`] under the default
+    /// type parameter).
+    pub fn graph(&self) -> &T {
         &self.graph
     }
 
@@ -875,7 +922,7 @@ impl<P: Protocol> Simulator<P> {
     }
 }
 
-impl<P: Protocol + fmt::Debug> fmt::Debug for Simulator<P> {
+impl<P: Protocol + fmt::Debug, T: Topology + fmt::Debug> fmt::Debug for Simulator<P, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Simulator")
             .field("graph", &self.graph)

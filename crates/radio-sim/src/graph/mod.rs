@@ -6,10 +6,14 @@
 
 mod builder;
 pub mod generators;
+mod implicit;
+mod topology;
 mod traversal;
 
 pub use builder::{GraphBuilder, GraphError};
-pub use traversal::{BfsLayering, Traversal, UNREACHABLE};
+pub use implicit::ImplicitGraph;
+pub use topology::Topology;
+pub use traversal::{bfs_layering, BfsLayering, Traversal, UNREACHABLE};
 
 use crate::ids::NodeId;
 use std::fmt;

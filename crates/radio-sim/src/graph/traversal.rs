@@ -1,6 +1,6 @@
 //! BFS layerings, eccentricities and diameter computations.
 
-use super::Graph;
+use super::{Graph, Topology};
 use crate::ids::NodeId;
 use std::collections::VecDeque;
 
@@ -96,32 +96,44 @@ pub trait Traversal {
     fn is_connected(&self) -> bool;
 }
 
+/// BFS layering over any [`Topology`] — the streamed-capable twin of
+/// [`Traversal::bfs_multi`]. Distances are order-independent facts of the
+/// graph, so for a materialized topology this produces the exact same
+/// [`BfsLayering`] as the `Graph` implementation.
+pub fn bfs_layering<T: Topology>(topo: &T, sources: &[NodeId]) -> BfsLayering {
+    let mut dist = vec![UNREACHABLE; topo.node_count()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s.index()] == UNREACHABLE {
+            dist[s.index()] = 0;
+            queue.push_back(s);
+        }
+    }
+    let mut max_level = 0;
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        queue.extend(topo.with_neighbors(u, |nbrs| {
+            let mut fresh = Vec::new();
+            for &v in nbrs {
+                if dist[v.index()] == UNREACHABLE {
+                    dist[v.index()] = du + 1;
+                    max_level = max_level.max(du + 1);
+                    fresh.push(v);
+                }
+            }
+            fresh
+        }));
+    }
+    BfsLayering { dist, max_level }
+}
+
 impl Traversal for Graph {
     fn bfs(&self, source: NodeId) -> BfsLayering {
         self.bfs_multi(std::slice::from_ref(&source))
     }
 
     fn bfs_multi(&self, sources: &[NodeId]) -> BfsLayering {
-        let mut dist = vec![UNREACHABLE; self.node_count()];
-        let mut queue = VecDeque::new();
-        for &s in sources {
-            if dist[s.index()] == UNREACHABLE {
-                dist[s.index()] = 0;
-                queue.push_back(s);
-            }
-        }
-        let mut max_level = 0;
-        while let Some(u) = queue.pop_front() {
-            let du = dist[u.index()];
-            for &v in self.neighbors(u) {
-                if dist[v.index()] == UNREACHABLE {
-                    dist[v.index()] = du + 1;
-                    max_level = max_level.max(du + 1);
-                    queue.push_back(v);
-                }
-            }
-        }
-        BfsLayering { dist, max_level }
+        bfs_layering(self, sources)
     }
 
     fn eccentricity(&self, v: NodeId) -> u32 {
@@ -214,6 +226,17 @@ mod tests {
         let g = Graph::from_edges(1, []).unwrap();
         assert!(g.is_connected());
         assert_eq!(g.diameter(), Some(0));
+    }
+
+    #[test]
+    fn generic_layering_matches_graph_layering() {
+        let implicit = crate::graph::ImplicitGraph::grid(7, 5);
+        let dense = crate::graph::generators::grid(7, 5);
+        for s in [0u32, 17, 34] {
+            let a = bfs_layering(&implicit, &[NodeId(s)]);
+            let b = dense.bfs(NodeId(s));
+            assert_eq!(a, b, "source {s}");
+        }
     }
 
     #[test]

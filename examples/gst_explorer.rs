@@ -51,7 +51,7 @@ fn main() {
     println!("graph diameter {diameter}; stretches let one message cross it in O(D + log^2 n)");
 
     // The same graph through the front door: Theorem 1.1 end to end.
-    let out = Scenario::new(TopologySpec::Custom(graph), Workload::Single { payload: 0x6E57 })
+    let out = Scenario::new(TopologySpec::custom(graph), Workload::Single { payload: 0x6E57 })
         .seed(5)
         .run();
     match out.completion_round {

@@ -26,6 +26,16 @@ fn main() {
     let ratio = ghk.mean_rounds().unwrap() / decay.mean_rounds().unwrap().max(1.0);
     println!("mean GHK-CD / mean Decay = {ratio:.1}x over 5 shared seeds");
 
+    // Median and tail views of the same sweeps: the median is robust to one
+    // slow seed, and p95 is the tail the paper's w.h.p. bounds speak to.
+    let (med, p95) = (ghk.median_rounds().unwrap(), ghk.p95_rounds().unwrap());
+    println!("GHK-CD rounds median/p95 = {med}/{p95}");
+    assert!(med <= p95, "median cannot exceed p95");
+    assert!(
+        ghk.best_rounds().unwrap() <= med && p95 <= ghk.worst_rounds().unwrap(),
+        "quantiles must sit inside the min..max envelope"
+    );
+
     // Adversarial smoke: the same corridor under 5% packet erasure. Decay
     // degrades gracefully and must still complete on every seed; the sweep
     // label records the fault plan.

@@ -22,7 +22,13 @@ exists to catch. Schema 5 (the staged recovery ladder) adds the
 degraded-mobility grid entry, a 60x-Decay budget on the degraded corridor
 (down from the recovery PR's 250x headline — the ladder repairs the failed
 ring locally instead of flooding globally), and requires at least one
-degraded entry to have fired a rung-1 ring repair.
+degraded entry to have fired a rung-1 ring repair. Schema 6 (streamed
+topologies) adds the memory-accounting columns
+(`streamed`/`peak_state_bytes`/`materialized_topology_bytes`) to every
+entry, a million-node streamed unit-disk pipeline run with a pinned
+wall-clock budget, and gates every streamed entry on `peak_state_bytes`
+staying below a quarter of the materialized CSR cost — a streamed run
+that silently materialized its topology would blow that ratio.
 
 Usage: python3 scripts/check_bench.py [path/to/BENCH_pipeline.json]
 """
@@ -30,9 +36,9 @@ Usage: python3 scripts/check_bench.py [path/to/BENCH_pipeline.json]
 import json
 import sys
 
-EXPECTED_SCHEMA = 5
+EXPECTED_SCHEMA = 6
 
-# Every field each pipeline entry must carry (schema 5).
+# Every field each pipeline entry must carry (schema 6).
 REQUIRED_ENTRY_FIELDS = (
     "name",
     "scenario",
@@ -52,6 +58,9 @@ REQUIRED_ENTRY_FIELDS = (
     "ring_repairs",
     "regional_repairs",
     "fallback_rounds",
+    "streamed",
+    "peak_state_bytes",
+    "materialized_topology_bytes",
 )
 REQUIRED_SCENARIO_FIELDS = ("topology", "workload", "seed", "faults")
 
@@ -102,6 +111,34 @@ EXPECTED_SCENARIOS = {
         "seed": 1,
         "faults": "mobile(r0.35,e32)",
     },
+    "m1_million_disk_single": {
+        "topology": "stream:unit_disk(1000000,r=0.012,g=2026)",
+        "workload": "single",
+        "seed": 1,
+        "faults": "none",
+    },
+}
+
+# Entries that must have streamed their topology (scenario declared a
+# `stream:` spec and the bench must not have materialized it behind the
+# declaration's back).
+MUST_STREAM = ("m1_million_disk_single",)
+
+# A streamed entry's peak resident bytes (topology term + node state) must
+# stay below this fraction of the full materialized cost — the CSR the spec
+# would build plus the identical node state. A streamed run that silently
+# materialized its topology lands far above it (the million-node entry
+# would report ~58% instead of ~22%).
+MAX_STREAMED_PEAK_RATIO = 0.25
+
+# Wall-clock ceilings (ms) for entries whose runtime is itself the headline:
+# generous multiples of the measured local wall to absorb CI-runner jitter,
+# but tight enough that an accidental O(n·m) regression (or a fallen-off
+# fast path) in the million-node run fails loudly instead of stalling CI.
+WALL_BUDGETS_MS = {
+    # Measured ~2,600s uncontended on the 1-core reference box (44,940
+    # rounds, ~40G act skips + 90M transmissions at mean degree ~452).
+    "m1_million_disk_single": 5_400_000.0,
 }
 
 # Faulted entries that must show nonzero *recovery-counter* activity
@@ -126,6 +163,7 @@ ROUND_BUDGETS = {
     # 250x allowance here.
     "e1_degraded_corridor": 11_940,
     "e3_degraded_mobile_grid": 4_000,
+    "m1_million_disk_single": 60_000,
 }
 
 # Exact round counts at the bench's fixed seeds. Runs are deterministic, so
@@ -148,6 +186,10 @@ EXPECTED_ROUNDS = {
     # and regional repair rungs.
     "e1_degraded_corridor": 6_183,
     "e3_degraded_mobile_grid": 1_955,
+    # The million-node streamed disk: deterministic like every other entry;
+    # drift means the streamed neighborhood order (or the pipeline itself)
+    # changed.
+    "m1_million_disk_single": 44_940,
 }
 
 MIN_MICROBENCH_SPEEDUP = 50.0
@@ -243,6 +285,43 @@ def check_entry(entry, failures):
         failures.append(
             f"{name}: fault-free entry reports nonzero fault or "
             "recovery counters"
+        )
+    check_memory(entry, name, scenario, failures)
+
+
+def check_memory(entry, name, scenario, failures):
+    """The schema-6 memory columns: streamed declarations must match the
+    scenario, peak accounting must be present, and streamed entries must
+    stay lean."""
+    streamed = entry["streamed"]
+    declared_streamed = scenario["topology"].startswith("stream:")
+    if streamed != declared_streamed:
+        failures.append(
+            f"{name}: streamed = {streamed} but the declared topology is "
+            f"{scenario['topology']!r} — the bench ran a different kind of "
+            "topology than it declared"
+        )
+    if name in MUST_STREAM and not streamed:
+        failures.append(f"{name}: entry is required to stream its topology")
+    peak = entry["peak_state_bytes"]
+    csr = entry["materialized_topology_bytes"]
+    if peak <= 0 or csr <= 0:
+        failures.append(f"{name}: memory accounting missing (peak {peak}, csr {csr})")
+        return
+    if streamed:
+        ratio = peak / (csr + peak)
+        if ratio > MAX_STREAMED_PEAK_RATIO:
+            failures.append(
+                f"{name}: peak_state_bytes {peak} is {ratio:.0%} of the "
+                f"materialized cost ({csr} CSR + identical state) — above "
+                f"the {MAX_STREAMED_PEAK_RATIO:.0%} ceiling; the streamed "
+                "topology was likely silently materialized"
+            )
+    wall_budget = WALL_BUDGETS_MS.get(name)
+    if wall_budget is not None and entry["wall_ms"] > wall_budget:
+        failures.append(
+            f"{name}: wall_ms {entry['wall_ms']:.0f} exceeds the pinned "
+            f"budget {wall_budget:.0f} — the flagship run regressed"
         )
 
 
