@@ -1,11 +1,14 @@
 //! Machine-readable perf tracker: runs the flagship pipelines (E1/E2 single
 //! message, the adaptive Theorem 1.3 multi-message scenarios) through the
-//! `Scenario` facade and the million-node idle-round microbench, then writes
-//! `BENCH_pipeline.json` at the repo root — rounds, wall-clock, engine skip
-//! counters and the declarative scenario descriptor of every entry — so the
-//! perf trajectory is tracked from PR 3 onward. CI runs this in release mode
-//! as a smoke job and `scripts/check_bench.py` validates the schema, the
-//! scenario descriptors and the pinned round counts.
+//! `Scenario` facade, the million-node idle-round microbench and — since
+//! schema 7 — the parallel corridor seed sweep (serial vs the work-stealing
+//! `sweep::SweepPool`, with the bit-identity of the shard-merged matrix
+//! re-proven in the measurement itself), then writes `BENCH_pipeline.json`
+//! at the repo root — rounds, wall-clock, engine skip counters and the
+//! declarative scenario descriptor of every entry — so the perf trajectory
+//! is tracked from PR 3 onward. CI runs this in release mode as a smoke job
+//! and `scripts/check_bench.py` validates the schema, the scenario
+//! descriptors and the pinned round counts.
 //!
 //! ```sh
 //! cargo bench --bench perf_pipeline            # writes BENCH_pipeline.json
@@ -20,6 +23,7 @@ use radio_sim::{CollisionMode, DenseWrap, FaultPlan, Simulator, Topology};
 use rlnc::gf2::BitVec;
 use std::fmt::Write as _;
 use std::time::Instant;
+use sweep::{SweepPool, SweepProduct};
 
 /// One measured pipeline run.
 struct Entry {
@@ -101,6 +105,51 @@ fn measure(name: &'static str, scenario: Scenario) -> Entry {
         streamed,
         peak_state_bytes: out.peak_state_bytes,
         materialized_topology_bytes,
+    }
+}
+
+/// The schema-7 parallel-sweep section: the E1 corridor swept over 64
+/// seeds, serially and on the machine-sized work-stealing pool.
+struct SweepSection {
+    seeds: u64,
+    workers: usize,
+    serial_wall_ms: f64,
+    parallel_wall_ms: f64,
+    /// Shard-merged matrix == serial matrix, full `Debug` equality — the
+    /// executor's bit-identity contract, re-proven on every bench run.
+    merged_matches_serial: bool,
+    best_rounds: u64,
+    worst_rounds: u64,
+}
+
+/// Sweeps the corridor twice — `Scenario::seeds` serially, then the
+/// work-stealing pool — and compares wall clocks and matrices. On a
+/// one-core runner the pool degenerates to the inline path and the speedup
+/// hovers near 1x; `check_bench.py` asserts speedup only when `workers > 1`.
+fn sweep_section(seeds: u64) -> SweepSection {
+    let corridor = Scenario::new(
+        TopologySpec::ClusterChain { clusters: 20, size: 6 },
+        Workload::Single { payload: 0xFEED },
+    );
+
+    let t = Instant::now();
+    let serial = corridor.seeds(0..seeds);
+    let serial_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let product = SweepProduct::new().scenario(corridor).seeds(0..seeds);
+    let pool = SweepPool::new();
+    let t = Instant::now();
+    let merged = pool.run(&product);
+    let parallel_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    SweepSection {
+        seeds,
+        workers: pool.worker_count(),
+        serial_wall_ms,
+        parallel_wall_ms,
+        merged_matches_serial: format!("{:?}", merged[0]) == format!("{serial:?}"),
+        best_rounds: serial.best_rounds().expect("corridor sweep completes"),
+        worst_rounds: serial.worst_rounds().expect("corridor sweep completes"),
     }
 }
 
@@ -277,15 +326,35 @@ fn main() {
     let (dense_ms, wake_ms, wake_stats) = idle_microbench(n, rounds);
     let speedup = dense_ms / wake_ms.max(1e-9);
 
+    let sweep = sweep_section(64);
+    let sweep_speedup = sweep.serial_wall_ms / sweep.parallel_wall_ms.max(1e-9);
+
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"generated_by\": \"cargo bench --bench perf_pipeline\",");
-    let _ = writeln!(out, "  \"schema\": 6,");
+    let _ = writeln!(out, "  \"schema\": 7,");
     let _ = writeln!(out, "  \"entries\": [");
     for (i, e) in entries.iter().enumerate() {
         json_entry(&mut out, e);
         out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
     let _ = writeln!(out, "  ],");
+    let _ = writeln!(
+        out,
+        "  \"sweep\": {{\"name\": \"sweep_corridor_single\", \
+         \"topology\": \"cluster_chain(20x6)\", \"workload\": \"single\", \
+         \"seeds\": {}, \"workers\": {}, \"serial_wall_ms\": {:.2}, \
+         \"parallel_wall_ms\": {:.2}, \"speedup\": {:.2}, \
+         \"merged_matches_serial\": {}, \"best_rounds\": {}, \
+         \"worst_rounds\": {}}},",
+        sweep.seeds,
+        sweep.workers,
+        sweep.serial_wall_ms,
+        sweep.parallel_wall_ms,
+        sweep_speedup,
+        sweep.merged_matches_serial,
+        sweep.best_rounds,
+        sweep.worst_rounds,
+    );
     let _ = writeln!(
         out,
         "  \"idle_microbench\": {{\"nodes\": {n}, \"rounds\": {rounds}, \
@@ -317,6 +386,19 @@ fn main() {
         "idle_microbench"
     );
     assert!(speedup >= 50.0, "idle microbench speedup regressed: {speedup:.1}x < 50x");
+    println!(
+        "{:>26}: serial {:.1} ms vs {} worker(s) {:.1} ms -> {sweep_speedup:.2}x over {} seeds \
+         (rounds {}..{}, merged == serial: {})",
+        "sweep_corridor_single",
+        sweep.serial_wall_ms,
+        sweep.workers,
+        sweep.parallel_wall_ms,
+        sweep.seeds,
+        sweep.best_rounds,
+        sweep.worst_rounds,
+        sweep.merged_matches_serial,
+    );
+    assert!(sweep.merged_matches_serial, "parallel sweep diverged from the serial matrix");
 
     let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json").to_string()

@@ -47,6 +47,7 @@ pub use adaptive::Pacing;
 pub use multi_message::{BatchMode, KnownRunOpts, MultiRunOpts};
 pub use params::Params;
 pub use run::{
-    Algo, Detail, Outcome, Phases, Scenario, SeedMatrix, SeedRun, TopologySpec, Workload,
+    Algo, Detail, Outcome, Phases, PreparedTopology, Scenario, SeedMatrix, SeedRun, SweepJob,
+    TopologySpec, Workload,
 };
 pub use schedule::{EmptyBehavior, SlowKey};

@@ -472,6 +472,13 @@ impl Outcome {
 /// One run of a [`SeedMatrix`].
 #[derive(Clone, Debug)]
 pub struct SeedRun {
+    /// Position of this run in the sweep's seed sequence (0-based). The
+    /// canonical sort key of a matrix: a parallel executor that shards the
+    /// sweep tags each run with its serial position, and
+    /// [`SeedMatrix::merge`] restores serial order from it — so a merged
+    /// matrix is identical to the serial sweep regardless of shard count or
+    /// steal order.
+    pub order: u64,
     /// The master seed of this run.
     pub seed: u64,
     /// Its outcome.
@@ -480,15 +487,56 @@ pub struct SeedRun {
 
 /// Aggregated outcomes of one scenario swept over a seed range
 /// ([`Scenario::seeds`]) — the shape benches and regression suites consume.
+///
+/// Matrices are **mergeable**: a sweep can be sharded across workers, each
+/// shard folding its own matrix, and [`SeedMatrix::merge`] recombines the
+/// shards into the serial result. Merging is associative and commutative
+/// (runs carry their serial [`SeedRun::order`]), which is what makes a
+/// work-stealing executor's output independent of worker count and steal
+/// order.
 #[derive(Clone, Debug)]
 pub struct SeedMatrix {
     /// The scenario's label (`topology/workload`).
     pub label: String,
-    /// One entry per seed, in sweep order.
+    /// One entry per seed, in sweep order (ascending [`SeedRun::order`]).
     pub runs: Vec<SeedRun>,
 }
 
 impl SeedMatrix {
+    /// An empty matrix for `label` — the identity of [`SeedMatrix::merge`],
+    /// the starting point of a shard fold.
+    pub fn empty(label: String) -> Self {
+        SeedMatrix { label, runs: Vec::new() }
+    }
+
+    /// Folds another shard of the same sweep into this matrix, restoring
+    /// serial sweep order (ascending [`SeedRun::order`]). Associative and
+    /// commutative: any parenthesization of any shard permutation yields
+    /// the same matrix, so shard-merged results are bit-identical to the
+    /// serial sweep no matter how a parallel executor split or stole the
+    /// work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labels differ (merging different scenarios is a bug),
+    /// or if the shards overlap (two runs with the same `order`): shards
+    /// must partition the sweep.
+    pub fn merge(&mut self, other: SeedMatrix) {
+        assert_eq!(self.label, other.label, "SeedMatrix::merge: shards of different scenarios");
+        // Shards arrive in whatever order their worker executed (a stolen
+        // chunk runs out of sequence), so sort unconditionally rather than
+        // assume anything about either side.
+        self.runs.extend(other.runs);
+        self.runs.sort_by_key(|r| r.order);
+        for pair in self.runs.windows(2) {
+            assert_ne!(
+                pair[0].order, pair[1].order,
+                "SeedMatrix::merge: overlapping shards (order {} twice) — \
+                 shards must partition the sweep",
+                pair[0].order
+            );
+        }
+    }
     /// Number of runs.
     pub fn len(&self) -> usize {
         self.runs.len()
@@ -767,12 +815,47 @@ impl Scenario {
     /// cached across the sweep: materialized graphs are shared by `Arc` (no
     /// per-seed CSR clone), streamed topologies re-use their spatial index
     /// and neighborhood cache.
-    pub fn seeds(&self, seeds: std::ops::Range<u64>) -> SeedMatrix {
-        let built = self.build_topology();
+    ///
+    /// Takes any seed sequence — a range (`0..64`), an explicit list
+    /// (`[3, 1, 4]`, what service requests carry), or any other
+    /// `IntoIterator<Item = u64>`. Runs land in iteration order; duplicate
+    /// seeds are allowed here (each is an independent run) but a duplicated
+    /// sweep cannot be sharded, since shards must partition distinct
+    /// [`SeedRun::order`] positions — which `seeds()` always assigns.
+    pub fn seeds<I: IntoIterator<Item = u64>>(&self, seeds: I) -> SeedMatrix {
+        let prepared = self.prepare();
         let runs = seeds
-            .map(|seed| SeedRun { seed, outcome: self.run_seed_built(&built, seed) })
+            .into_iter()
+            .enumerate()
+            .map(|(order, seed)| SeedRun {
+                order: order as u64,
+                seed,
+                outcome: self.run_seed(&prepared, seed),
+            })
             .collect();
         SeedMatrix { label: self.label(), runs }
+    }
+
+    /// Builds this scenario's topology once, in its natural representation,
+    /// for repeated [`Scenario::run_seed`] calls — the per-worker cache of a
+    /// parallel sweep executor. Cheap to create for materialized specs
+    /// (one build, then `Arc`-shared per run) and for streamed specs (the
+    /// spatial index and neighborhood cache are reused across runs).
+    ///
+    /// The prepared topology is **not** `Sync` (streamed topologies carry a
+    /// single-threaded neighborhood cache); each worker thread prepares its
+    /// own. Builds are deterministic, so every worker's copy is identical
+    /// and runs stay bit-identical to the serial sweep.
+    pub fn prepare(&self) -> PreparedTopology {
+        PreparedTopology(self.build_topology())
+    }
+
+    /// Runs the workload once under `seed` on a topology prepared by
+    /// [`Scenario::prepare`] — the single-job entry point a sweep executor
+    /// fans out. `scenario.run_seed(&scenario.prepare(), s)` is bit-identical
+    /// to `scenario.seed(s).run()`.
+    pub fn run_seed(&self, prepared: &PreparedTopology, seed: u64) -> Outcome {
+        self.run_seed_built(&prepared.0, seed)
     }
 
     /// Builds the spec's topology in its natural representation: streamed
@@ -971,6 +1054,40 @@ enum BuiltTopology {
     Dense(Arc<Graph>),
     /// A streamed topology; neighborhoods are computed on demand.
     Streamed(ImplicitGraph),
+}
+
+/// An opaque pre-built topology for repeated single-seed runs — what
+/// [`Scenario::seeds`] caches internally and what a parallel sweep worker
+/// holds per scenario. Build with [`Scenario::prepare`], consume with
+/// [`Scenario::run_seed`].
+pub struct PreparedTopology(BuiltTopology);
+
+impl std::fmt::Debug for PreparedTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            BuiltTopology::Dense(g) => {
+                write!(f, "PreparedTopology::Dense({} nodes)", g.node_count())
+            }
+            BuiltTopology::Streamed(t) => {
+                write!(f, "PreparedTopology::Streamed({} nodes)", t.node_count())
+            }
+        }
+    }
+}
+
+/// One unit of sweep work: run scenario number `scenario` (an index into
+/// the executor's scenario list) under `seed`, and file the outcome at
+/// serial position `order` of that scenario's [`SeedMatrix`]. The job
+/// descriptor a work-stealing executor enqueues, steals and executes —
+/// plain data, so chunks of jobs move freely between worker deques.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepJob {
+    /// Index of the scenario in the sweep's scenario list.
+    pub scenario: usize,
+    /// Serial position in that scenario's seed sequence ([`SeedRun::order`]).
+    pub order: u64,
+    /// The master seed to run.
+    pub seed: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,387 @@
+//! Layer 1: the work-stealing seed-matrix executor.
+//!
+//! A [`SweepProduct`] is a static job set — every `(scenario, seed)` pair,
+//! each an independent deterministic [`Scenario`] run. [`SweepPool`] splits
+//! the jobs into chunks, deals the chunks round-robin onto per-worker
+//! deques, and lets idle workers steal from the back of a victim's deque
+//! (owners pop from the front), so a straggling shard never idles the rest
+//! of the pool. No work is ever *produced* at runtime, which keeps
+//! termination trivial: a worker exits when every deque is empty.
+//!
+//! Determinism: each job's [`Outcome`] depends only on `(scenario, seed)`,
+//! never on which worker ran it or when; workers fold outcomes into
+//! shard-local [`SeedMatrix`]es tagged with serial positions, and
+//! [`SeedMatrix::merge`] is order-invariant — so the merged result is
+//! bit-identical to [`Scenario::seeds`] run serially, at every worker count
+//! and under every steal interleaving. `tests/sweep_parallel.rs` pins this.
+
+use broadcast::{Outcome, Scenario, SeedMatrix, SeedRun, SweepJob, TopologySpec, Workload};
+use radio_sim::FaultPlan;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// The executor's input: a list of scenarios (each already binding a
+/// topology, workload, params and fault plan) crossed with one seed
+/// sequence. Build with the chainable setters, then hand to
+/// [`SweepPool::run`].
+#[derive(Clone, Debug, Default)]
+pub struct SweepProduct {
+    scenarios: Vec<Scenario>,
+    seeds: Vec<u64>,
+}
+
+impl SweepProduct {
+    /// An empty product.
+    pub fn new() -> Self {
+        SweepProduct::default()
+    }
+
+    /// Adds one scenario to the product.
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenarios.push(scenario);
+        self
+    }
+
+    /// Adds several scenarios (e.g. the output of [`cross`]).
+    pub fn scenarios(mut self, scenarios: impl IntoIterator<Item = Scenario>) -> Self {
+        self.scenarios.extend(scenarios);
+        self
+    }
+
+    /// Sets the seed sequence every scenario is swept over — a range
+    /// (`0..64`) or an explicit list (what service requests carry).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// The scenarios of the product, in submission order.
+    pub fn scenario_list(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// The seed sequence.
+    pub fn seed_list(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// Number of jobs in the product (`scenarios × seeds`).
+    pub fn job_count(&self) -> usize {
+        self.scenarios.len() * self.seeds.len()
+    }
+
+    /// Whether the product has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.job_count() == 0
+    }
+
+    /// Materializes the job list, scenario-major: all seeds of scenario 0,
+    /// then all seeds of scenario 1, … — the order a serial sweep would run.
+    pub fn jobs(&self) -> Vec<SweepJob> {
+        let mut jobs = Vec::with_capacity(self.job_count());
+        for scenario in 0..self.scenarios.len() {
+            for (order, &seed) in self.seeds.iter().enumerate() {
+                jobs.push(SweepJob { scenario, order: order as u64, seed });
+            }
+        }
+        jobs
+    }
+}
+
+/// Expands a `topologies × workloads × fault plans` cross product into the
+/// scenario list of a [`SweepProduct`] — the bake-off shape: every
+/// algorithm on every topology under every channel.
+pub fn cross(
+    topologies: &[TopologySpec],
+    workloads: &[Workload],
+    faults: &[FaultPlan],
+) -> Vec<Scenario> {
+    let mut out = Vec::with_capacity(topologies.len() * workloads.len() * faults.len());
+    for topo in topologies {
+        for workload in workloads {
+            for plan in faults {
+                out.push(Scenario::new(topo.clone(), workload.clone()).faults(plan.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Hooks into a running sweep. All methods are called from worker threads.
+pub trait SweepObserver: Sync {
+    /// Called once per completed job, with the job's outcome. Outcomes
+    /// arrive in execution order (arbitrary under stealing), tagged with
+    /// their serial position via [`SweepJob::order`].
+    fn outcome(&self, job: SweepJob, scenario: &Scenario, outcome: &Outcome) {
+        let _ = (job, scenario, outcome);
+    }
+
+    /// Polled between jobs. Returning `true` drains the sweep cleanly:
+    /// in-flight jobs finish (and are observed), no new job starts, and
+    /// [`SweepPool::run_observed`] returns the merged partial matrices.
+    fn cancelled(&self) -> bool {
+        false
+    }
+}
+
+/// The no-op observer ([`SweepPool::run`]).
+impl SweepObserver for () {}
+
+/// A work-stealing sweep pool over `std::thread`. Worker count defaults to
+/// [`std::thread::available_parallelism`]; override with
+/// [`SweepPool::workers`]. The pool holds no threads between runs — each
+/// [`SweepPool::run`] spawns a scoped crew and joins it before returning.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPool {
+    workers: Option<usize>,
+}
+
+impl Default for SweepPool {
+    fn default() -> Self {
+        SweepPool::new()
+    }
+}
+
+impl SweepPool {
+    /// A pool sized to the machine ([`std::thread::available_parallelism`]).
+    pub fn new() -> Self {
+        SweepPool { workers: None }
+    }
+
+    /// Overrides the worker count (the knob; clamped to at least 1). At one
+    /// worker the pool runs the jobs inline on the calling thread — no
+    /// spawning, same fold path, same result.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// The worker count a run will use.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map(usize::from).unwrap_or(1))
+    }
+
+    /// Runs the whole product and returns one merged [`SeedMatrix`] per
+    /// scenario (in scenario order), bit-identical to calling
+    /// [`Scenario::seeds`] on each scenario serially.
+    pub fn run(&self, product: &SweepProduct) -> Vec<SeedMatrix> {
+        self.run_observed(product, &())
+    }
+
+    /// [`SweepPool::run`] with per-outcome streaming and cancellation —
+    /// what the service's submit loop drives. On cancellation the returned
+    /// matrices hold exactly the jobs that completed (a clean drain, never
+    /// a torn run).
+    pub fn run_observed(
+        &self,
+        product: &SweepProduct,
+        observer: &(impl SweepObserver + ?Sized),
+    ) -> Vec<SeedMatrix> {
+        let jobs = product.jobs();
+        let workers = self.worker_count().min(jobs.len().max(1));
+        let queues = deal_chunks(&jobs, workers);
+        let shards: Vec<Vec<SeedMatrix>> = if workers <= 1 {
+            vec![run_worker(0, product, &jobs, &queues, observer)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let (jobs, queues) = (&jobs, &queues);
+                        scope.spawn(move || run_worker(w, product, jobs, queues, observer))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(shard) => shard,
+                        // A worker panicking means a scenario run panicked;
+                        // re-raise on the caller rather than return a hole.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                    .collect()
+            })
+        };
+        let mut merged: Vec<SeedMatrix> =
+            product.scenarios.iter().map(|s| SeedMatrix::empty(s.label())).collect();
+        for shard in shards {
+            for (acc, part) in merged.iter_mut().zip(shard) {
+                acc.merge(part);
+            }
+        }
+        merged
+    }
+}
+
+/// A contiguous slice of the job list — the unit that moves between deques.
+type Chunk = Range<usize>;
+
+/// Splits the job list into chunks and deals them round-robin onto one
+/// deque per worker. Chunk size balances steal traffic (bigger chunks,
+/// fewer lock hits) against balance (smaller chunks steal finer); with a
+/// static job set, jobs/(workers·4) capped at 32 keeps several steals'
+/// worth available even for short sweeps.
+fn deal_chunks(jobs: &[SweepJob], workers: usize) -> Vec<Mutex<VecDeque<Chunk>>> {
+    let chunk_size = (jobs.len() / (workers * 4)).clamp(1, 32);
+    let queues: Vec<Mutex<VecDeque<Chunk>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, start) in (0..jobs.len()).step_by(chunk_size).enumerate() {
+        let chunk = start..(start + chunk_size).min(jobs.len());
+        queues[i % workers].lock().expect("sweep queue poisoned").push_back(chunk);
+    }
+    queues
+}
+
+/// One worker: drain the own deque from the front, then steal from the
+/// back of the next non-empty victim's; exit when every deque is empty
+/// (the job set is static — no new work ever appears) or the observer
+/// cancels. Outcomes fold into shard-local matrices, one per scenario.
+fn run_worker(
+    me: usize,
+    product: &SweepProduct,
+    jobs: &[SweepJob],
+    queues: &[Mutex<VecDeque<Chunk>>],
+    observer: &(impl SweepObserver + ?Sized),
+) -> Vec<SeedMatrix> {
+    let scenarios = &product.scenarios;
+    let mut shard: Vec<SeedMatrix> =
+        scenarios.iter().map(|s| SeedMatrix::empty(s.label())).collect();
+    // Worker-local prepared topologies, built lazily on first use: builds
+    // are deterministic, so every worker's copy runs identically; streamed
+    // topologies' neighborhood caches are single-threaded by design.
+    let mut prepared: Vec<Option<broadcast::PreparedTopology>> = Vec::new();
+    prepared.resize_with(scenarios.len(), || None);
+
+    'drain: while !observer.cancelled() {
+        let chunk = take_chunk(me, queues);
+        let Some(chunk) = chunk else { break };
+        for idx in chunk {
+            if observer.cancelled() {
+                break 'drain;
+            }
+            let job = jobs[idx];
+            let scenario = &scenarios[job.scenario];
+            let topo = prepared[job.scenario].get_or_insert_with(|| scenario.prepare());
+            let outcome = scenario.run_seed(topo, job.seed);
+            observer.outcome(job, scenario, &outcome);
+            shard[job.scenario].runs.push(SeedRun { order: job.order, seed: job.seed, outcome });
+        }
+    }
+    shard
+}
+
+/// Pops the next chunk: front of the own deque, else the back of the first
+/// non-empty victim deque scanning from `me + 1` — the steal.
+fn take_chunk(me: usize, queues: &[Mutex<VecDeque<Chunk>>]) -> Option<Chunk> {
+    if let Some(chunk) = queues[me].lock().expect("sweep queue poisoned").pop_front() {
+        return Some(chunk);
+    }
+    for offset in 1..queues.len() {
+        let victim = (me + offset) % queues.len();
+        if let Some(chunk) = queues[victim].lock().expect("sweep queue poisoned").pop_back() {
+            return Some(chunk);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use broadcast::Algo;
+
+    fn decay_path(n: usize) -> Scenario {
+        Scenario::new(TopologySpec::Path { n }, Workload::Baseline(Algo::Decay { payload: 7 }))
+    }
+
+    /// The full-field comparison: `Debug` formatting covers every field of
+    /// every outcome (plans, stats, audit, phases), so equal debug strings
+    /// mean bit-identical matrices.
+    fn assert_identical(a: &[SeedMatrix], b: &[SeedMatrix]) {
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn parallel_matches_serial_across_worker_counts() {
+        let product =
+            SweepProduct::new().scenario(decay_path(10)).scenario(decay_path(17)).seeds(0..12);
+        let serial: Vec<SeedMatrix> =
+            product.scenario_list().iter().map(|s| s.seeds(0..12)).collect();
+        for workers in [1, 2, 3, 8] {
+            let parallel = SweepPool::new().workers(workers).run(&product);
+            assert_identical(&parallel, &serial);
+        }
+    }
+
+    #[test]
+    fn explicit_seed_lists_sweep_in_order() {
+        let seeds = [9u64, 2, 9, 4]; // duplicates allowed: independent runs
+        let product = SweepProduct::new().scenario(decay_path(8)).seeds(seeds.iter().copied());
+        let parallel = SweepPool::new().workers(2).run(&product);
+        let serial = product.scenario_list()[0].seeds(seeds.iter().copied());
+        assert_identical(&parallel, &[serial]);
+        assert_eq!(
+            parallel[0].runs.iter().map(|r| r.seed).collect::<Vec<_>>(),
+            seeds.to_vec(),
+            "runs must land in sweep order, not sorted-seed order"
+        );
+    }
+
+    #[test]
+    fn cross_expands_the_product() {
+        let scenarios = cross(
+            &[TopologySpec::Path { n: 6 }, TopologySpec::Star { n: 5 }],
+            &[Workload::Baseline(Algo::Decay { payload: 1 }), Workload::Single { payload: 1 }],
+            &[FaultPlan::none()],
+        );
+        assert_eq!(scenarios.len(), 4);
+        let labels: Vec<String> = scenarios.iter().map(|s| s.label()).collect();
+        assert!(labels.contains(&"path(6)/decay".to_string()));
+        assert!(labels.contains(&"star(5)/single".to_string()));
+    }
+
+    #[test]
+    fn empty_product_returns_empty_matrices() {
+        let product = SweepProduct::new().scenario(decay_path(5));
+        let out = SweepPool::new().workers(4).run(&product);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_empty());
+    }
+
+    #[test]
+    fn cancellation_drains_cleanly() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct CancelAfter {
+            seen: AtomicUsize,
+            limit: usize,
+        }
+        impl SweepObserver for CancelAfter {
+            fn outcome(&self, _: SweepJob, _: &Scenario, _: &Outcome) {
+                self.seen.fetch_add(1, Ordering::SeqCst);
+            }
+            fn cancelled(&self) -> bool {
+                self.seen.load(Ordering::SeqCst) >= self.limit
+            }
+        }
+        let product = SweepProduct::new().scenario(decay_path(8)).seeds(0..64);
+        let obs = CancelAfter { seen: AtomicUsize::new(0), limit: 5 };
+        let out = SweepPool::new().workers(2).run_observed(&product, &obs);
+        let ran = out[0].len();
+        assert!(ran < 64, "cancellation never took effect");
+        assert_eq!(ran, obs.seen.load(std::sync::atomic::Ordering::SeqCst));
+        // The partial matrix is still a clean merge: orders strictly
+        // ascending, every run complete.
+        for pair in out[0].runs.windows(2) {
+            assert!(pair[0].order < pair[1].order);
+        }
+    }
+
+    #[test]
+    fn worker_count_defaults_to_the_machine() {
+        let pool = SweepPool::new();
+        assert!(pool.worker_count() >= 1);
+        assert_eq!(pool.workers(0).worker_count(), 1, "zero clamps to one");
+        assert_eq!(pool.workers(7).worker_count(), 7);
+    }
+}

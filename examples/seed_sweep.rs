@@ -1,25 +1,60 @@
-//! Seed sweep: one declarative scenario, aggregated over a seed range —
-//! `Scenario::seeds` builds the graph once and returns a `SeedMatrix`
-//! report, replacing the per-bench copy-pasted seed loops.
+//! Seed sweep: declarative scenarios, aggregated over a seed range — now
+//! fanned out on the work-stealing [`sweep::SweepPool`]. One `SweepProduct`
+//! carries every scenario; the pool shards the jobs across workers and
+//! merges the shard matrices back into exactly the serial `SeedMatrix`es
+//! (the example asserts that, recomputing one sweep serially).
 //!
 //! ```sh
-//! cargo run --release --example seed_sweep
+//! cargo run --release --example seed_sweep             # machine-sized pool
+//! cargo run --release --example seed_sweep -- --workers 4
+//! SWEEP_WORKERS=1 cargo run --release --example seed_sweep   # serial
 //! ```
+//!
+//! At `--workers 1` the pool runs the jobs inline on the calling thread —
+//! same fold path, same matrices, no spawning.
 
-use broadcast::{Algo, Scenario, TopologySpec, Workload};
+use broadcast::{Algo, Scenario, SeedMatrix, TopologySpec, Workload};
 use radio_sim::FaultPlan;
+use sweep::{SweepPool, SweepProduct};
+
+/// Worker count: `--workers N` beats `SWEEP_WORKERS=N` beats the machine.
+fn worker_flag() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--workers" {
+            let n = args.next().and_then(|v| v.parse().ok());
+            return Some(n.expect("--workers needs a number"));
+        }
+    }
+    std::env::var("SWEEP_WORKERS").ok().and_then(|v| v.parse().ok())
+}
 
 fn main() {
     let corridor = TopologySpec::ClusterChain { clusters: 20, size: 6 };
+    let payload = 0xA1E57;
 
-    let ghk = Scenario::new(corridor.clone(), Workload::Single { payload: 0xA1E57 }).seeds(0..5);
+    // The whole bake-off is one product: three scenarios × 5 shared seeds.
+    let scenarios = vec![
+        Scenario::new(corridor.clone(), Workload::Single { payload }),
+        Scenario::new(corridor.clone(), Workload::Baseline(Algo::Decay { payload })),
+        Scenario::new(corridor, Workload::Baseline(Algo::Decay { payload }))
+            .faults(FaultPlan::none().with_erasure(0.05))
+            .round_cap(100_000),
+    ];
+    let product = SweepProduct::new().scenarios(scenarios.clone()).seeds(0..5);
+
+    let pool = match worker_flag() {
+        Some(n) => SweepPool::new().workers(n),
+        None => SweepPool::new(),
+    };
+    println!("sweeping {} jobs on {} worker(s)", product.job_count(), pool.worker_count());
+    let matrices: Vec<SeedMatrix> = pool.run(&product);
+    let [ghk, decay, lossy] = <[SeedMatrix; 3]>::try_from(matrices).expect("three matrices");
+
     println!("{}", ghk.report());
     assert!(ghk.all_completed(), "T1.1 failed on seeds {:?}", ghk.failures());
     assert!(ghk.all_within_caps(), "a run exceeded its worst-case cap");
 
-    let decay =
-        Scenario::new(corridor.clone(), Workload::Baseline(Algo::Decay { payload: 0xA1E57 }))
-            .seeds(0..5);
     println!("{}", decay.report());
     assert!(decay.all_completed(), "Decay failed on seeds {:?}", decay.failures());
 
@@ -39,11 +74,13 @@ fn main() {
     // Adversarial smoke: the same corridor under 5% packet erasure. Decay
     // degrades gracefully and must still complete on every seed; the sweep
     // label records the fault plan.
-    let lossy = Scenario::new(corridor, Workload::Baseline(Algo::Decay { payload: 0xA1E57 }))
-        .faults(FaultPlan::none().with_erasure(0.05))
-        .round_cap(100_000)
-        .seeds(0..5);
     println!("{}", lossy.report());
     assert!(lossy.label.ends_with("+erase(0.05)"), "fault label drifted: {}", lossy.label);
     assert!(lossy.all_completed(), "lossy Decay failed on seeds {:?}", lossy.failures());
+
+    // The executor's contract, checked live: the shard-merged GHK matrix is
+    // bit-identical to the serial sweep (full Debug equality).
+    let serial = scenarios[0].seeds(0..5);
+    assert_eq!(format!("{ghk:?}"), format!("{serial:?}"), "parallel sweep diverged from serial");
+    println!("parallel == serial: OK");
 }

@@ -28,7 +28,13 @@ topologies) adds the memory-accounting columns
 entry, a million-node streamed unit-disk pipeline run with a pinned
 wall-clock budget, and gates every streamed entry on `peak_state_bytes`
 staying below a quarter of the materialized CSR cost — a streamed run
-that silently materialized its topology would blow that ratio.
+that silently materialized its topology would blow that ratio. Schema 7
+(the sharded sweep service) adds the `sweep` section: the E1 corridor
+swept over 64 seeds serially and on the work-stealing pool, gated on the
+shard-merged matrix being bit-identical to the serial one (the measurement
+re-proves the executor's contract), on the deterministic best/worst round
+pins, and — only when the runner actually has more than one worker — on a
+parallel speedup materializing.
 
 Usage: python3 scripts/check_bench.py [path/to/BENCH_pipeline.json]
 """
@@ -36,7 +42,7 @@ Usage: python3 scripts/check_bench.py [path/to/BENCH_pipeline.json]
 import json
 import sys
 
-EXPECTED_SCHEMA = 6
+EXPECTED_SCHEMA = 7
 
 # Every field each pipeline entry must carry (schema 6).
 REQUIRED_ENTRY_FIELDS = (
@@ -193,6 +199,75 @@ EXPECTED_ROUNDS = {
 }
 
 MIN_MICROBENCH_SPEEDUP = 50.0
+
+# The schema-7 sweep section: required fields and deterministic pins. The
+# corridor sweep over seeds 0..64 is seed-deterministic, so its best/worst
+# completion rounds are exact pins like EXPECTED_ROUNDS; wall clocks are
+# machine-dependent and only sanity-bounded.
+REQUIRED_SWEEP_FIELDS = (
+    "name",
+    "topology",
+    "workload",
+    "seeds",
+    "workers",
+    "serial_wall_ms",
+    "parallel_wall_ms",
+    "speedup",
+    "merged_matches_serial",
+    "best_rounds",
+    "worst_rounds",
+)
+EXPECTED_SWEEP = {
+    "name": "sweep_corridor_single",
+    "topology": "cluster_chain(20x6)",
+    "workload": "single",
+    "seeds": 64,
+    "best_rounds": 582,
+    "worst_rounds": 1168,
+}
+# Generous ceiling for the serial corridor sweep (~127 ms on the 1-core
+# reference box): a blown budget means the facade's prepare-once path
+# regressed to per-seed topology rebuilds (or worse).
+MAX_SWEEP_SERIAL_WALL_MS = 30_000.0
+
+
+def check_sweep(data, failures):
+    """The schema-7 parallel-sweep gates."""
+    sweep = data.get("sweep")
+    if sweep is None:
+        failures.append("missing the schema-7 'sweep' section")
+        return
+    missing = [f for f in REQUIRED_SWEEP_FIELDS if f not in sweep]
+    if missing:
+        failures.append(f"sweep: missing required fields {missing}")
+        return
+    for field, want in EXPECTED_SWEEP.items():
+        got = sweep[field]
+        if got != want:
+            failures.append(
+                f"sweep: {field} = {got!r} != pinned {want!r} — the declared "
+                "sweep (or its deterministic outcome) changed"
+            )
+    if sweep["merged_matches_serial"] is not True:
+        failures.append(
+            "sweep: merged_matches_serial is not true — the work-stealing "
+            "executor's shard-merged matrix diverged from the serial sweep"
+        )
+    if sweep["workers"] < 1:
+        failures.append(f"sweep: nonsensical worker count {sweep['workers']}")
+    # The speedup gate only binds when the pool actually had parallelism to
+    # spend: on a one-core runner serial and parallel take the same path.
+    if sweep["workers"] > 1 and sweep["speedup"] <= 1.0:
+        failures.append(
+            f"sweep: {sweep['workers']} workers yielded speedup "
+            f"{sweep['speedup']:.2f}x <= 1x — the pool adds threads without "
+            "adding throughput"
+        )
+    if sweep["serial_wall_ms"] > MAX_SWEEP_SERIAL_WALL_MS:
+        failures.append(
+            f"sweep: serial_wall_ms {sweep['serial_wall_ms']:.0f} exceeds "
+            f"{MAX_SWEEP_SERIAL_WALL_MS:.0f} — the serial sweep path regressed"
+        )
 
 
 def check_entry(entry, failures):
@@ -366,12 +441,15 @@ def main() -> int:
             f"{MIN_MICROBENCH_SPEEDUP:.0f}x floor"
         )
 
+    check_sweep(data, failures)
+
     if failures:
         print(f"{path}: FAIL")
         for f in failures:
             print(f"  - {f}")
         return 1
 
+    sweep = data["sweep"]
     print(
         f"{path}: OK — "
         + ", ".join(
@@ -379,6 +457,7 @@ def main() -> int:
             for e in data["entries"]
         )
         + f"; microbench {speedup:.0f}x"
+        + f"; sweep {sweep['speedup']:.2f}x on {sweep['workers']} worker(s)"
     )
     return 0
 
